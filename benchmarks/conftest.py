@@ -1,0 +1,37 @@
+"""Shared configuration for the reproduction benchmarks.
+
+Every ``benchmarks/test_*`` module regenerates one table or figure of
+the paper and asserts its *shape* (who wins, by roughly what factor,
+where the knees fall) — not absolute numbers, which belong to the
+authors' hardware.
+
+pytest-benchmark is used in pedantic single-shot mode: each experiment
+is a deterministic simulation, so repeating it buys nothing but time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+#: Core grid used by the scaling figures (the paper uses 1..20 in 2s).
+FIGURE_CORES = (1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20)
+
+#: Cheaper grid for the heavy full-suite tables.
+TABLE_CORES = (1, 2, 4, 8, 10, 16, 20)
+
+
+@pytest.fixture(scope="session")
+def figure_config() -> ExperimentConfig:
+    return ExperimentConfig(samples=1, core_counts=FIGURE_CORES)
+
+
+@pytest.fixture(scope="session")
+def table_config() -> ExperimentConfig:
+    return ExperimentConfig(samples=1, core_counts=TABLE_CORES)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

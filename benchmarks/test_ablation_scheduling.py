@@ -1,0 +1,98 @@
+"""Ablations of the runtime's design choices (DESIGN.md §2/§6).
+
+The paper's results rest on two scheduler decisions HPX makes that the
+``std::async`` model does not; these benchmarks knock each one out in
+isolation:
+
+1. **LIFO local queues (depth-first execution).**  Switching the local
+   discipline to FIFO makes the HPX runtime execute recursive
+   benchmarks breadth-first, exploding the live-task footprint —
+   exactly the structural property that kills the thread-per-task
+   model (there the explosion costs memory; here it costs footprint
+   and scheduling locality).
+2. **Topology-aware stealing (same-socket victims first).**  Random or
+   far-first victim orders pay the cross-socket steal latency and the
+   coherence channel far more often, measurably slowing fine-grained
+   workloads on two sockets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.runtime.config import HpxParams
+from repro.runtime.scheduler import HpxRuntime
+from repro.simcore.events import Engine
+from repro.simcore.machine import Machine
+
+from conftest import run_once
+
+
+def _run_fib(params: HpxParams, cores: int, n: int = 17):
+    def fib(ctx, k):
+        if k < 2:
+            yield ctx.compute(650)
+            return k
+        fa = yield ctx.async_(fib, k - 1)
+        fb = yield ctx.async_(fib, k - 2)
+        a = yield ctx.wait(fa)
+        b = yield ctx.wait(fb)
+        yield ctx.compute(900, membytes=192)
+        return a + b
+
+    expected = {17: 1597, 18: 2584}[n]
+    engine = Engine()
+    rt = HpxRuntime(engine, Machine(), num_workers=cores, params=params)
+    value = rt.run_to_completion(fib, n)
+    assert value == expected
+    return engine.now, rt
+
+
+def test_ablation_lifo_vs_fifo_queues(benchmark):
+    def measure():
+        lifo_time, lifo_rt = _run_fib(HpxParams(local_queue_discipline="lifo"), cores=4)
+        fifo_time, fifo_rt = _run_fib(HpxParams(local_queue_discipline="fifo"), cores=4)
+        return {
+            "lifo_peak_live": lifo_rt.stats.peak_live_tasks,
+            "fifo_peak_live": fifo_rt.stats.peak_live_tasks,
+            "lifo_time_ns": lifo_time,
+            "fifo_time_ns": fifo_time,
+        }
+
+    out = run_once(benchmark, measure)
+    print()
+    for key, value in out.items():
+        print(f"  {key:15s} {value:>12,}")
+    # Depth-first keeps the footprint ~constant in the tree depth;
+    # breadth-first holds a large fraction of the tree live at once.
+    assert out["fifo_peak_live"] > 20 * out["lifo_peak_live"]
+    assert out["lifo_peak_live"] < 200
+
+
+def test_ablation_steal_order(benchmark):
+    def measure():
+        times = {}
+        for order in ("near-first", "random", "far-first"):
+            t, rt = _run_fib(HpxParams(steal_order=order), cores=20, n=18)
+            times[order] = {
+                "time_ns": t,
+                "cross_socket_steals": sum(
+                    w.stats.steals_cross_socket for w in rt.workers
+                ),
+                "steals": rt.steals_total(),
+            }
+        return times
+
+    out = run_once(benchmark, measure)
+    print()
+    for order, stats in out.items():
+        print(
+            f"  {order:11s} time={stats['time_ns']/1e6:7.2f} ms  "
+            f"steals={stats['steals']:5d}  cross-socket={stats['cross_socket_steals']:5d}"
+        )
+    # Topology-aware stealing crosses the socket less often than either
+    # alternative, and is at least as fast.
+    near = out["near-first"]
+    for other in ("random", "far-first"):
+        assert near["cross_socket_steals"] <= out[other]["cross_socket_steals"]
+        assert near["time_ns"] <= out[other]["time_ns"] * 1.05

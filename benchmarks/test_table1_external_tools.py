@@ -1,0 +1,54 @@
+"""Table I — TAU and HPCToolkit on the std::async Inncabs versions.
+
+Paper pattern at full concurrency (20 cores):
+
+- the uninstrumented baseline itself aborts for the recursive
+  fine-grained benchmarks (Fib, NQueens, UTS, ... run out of memory for
+  pthreads);
+- TAU kills nearly every benchmark (SegV once its fixed thread table
+  overflows);
+- HPCToolkit either crashes or completes with orders-of-magnitude
+  overhead (the paper reports 3,505%-12,706% where it completes).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import table1
+from repro.experiments.report import render_table1
+from repro.tools import ToolOutcome
+
+from conftest import run_once
+
+
+def test_table1(benchmark):
+    rows = run_once(benchmark, table1, cores=20)
+    print()
+    print(render_table1(rows))
+
+    by_name = {r.benchmark: r for r in rows}
+    assert len(rows) == 14
+
+    # Baseline failures: the paper's four memory-explosion benchmarks.
+    baseline_failures = {r.benchmark for r in rows if r.baseline_ms is None}
+    assert baseline_failures == {"fib", "health", "nqueens", "uts"}
+
+    # TAU: dies everywhere except where thread counts are tiny.
+    tau_survivors = {
+        r.benchmark for r in rows if r.tau.outcome is ToolOutcome.COMPLETED
+    }
+    assert tau_survivors <= {"alignment"}
+    for r in rows:
+        if r.benchmark not in tau_survivors:
+            assert r.tau.outcome in (ToolOutcome.SEGV, ToolOutcome.ABORT, ToolOutcome.TIMEOUT)
+
+    # HPCToolkit: completes only with enormous overhead, else crashes.
+    for r in rows:
+        if r.hpctoolkit.outcome is ToolOutcome.COMPLETED and r.baseline_ms:
+            overhead = r.hpctoolkit.overhead_percent(round(r.baseline_ms * 1e6))
+            assert overhead is not None and overhead > 200, (
+                f"{r.benchmark}: HPCToolkit overhead {overhead}% implausibly low"
+            )
+    hpct_crashes = sum(
+        r.hpctoolkit.outcome is not ToolOutcome.COMPLETED for r in rows
+    )
+    assert hpct_crashes >= 4  # the thread-explosion benchmarks at least

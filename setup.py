@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so the package installs in offline environments that lack the
+``wheel`` module required by PEP 660 editable installs
+(``python setup.py develop`` works with plain setuptools).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""repro — reproduction of "Using Intrinsic Performance Counters to Assess
+Efficiency in Task-based Parallel Applications" (Grubel, Kaiser, Huck, Cook,
+2016).
+
+The package provides:
+
+- :mod:`repro.simcore` — a discrete-event simulation of a dual-socket
+  multicore node (the paper's Ivy Bridge test platform).
+- :mod:`repro.runtime` — an HPX-style task runtime: lightweight tasks,
+  per-worker queues, work stealing, futures and launch policies.
+- :mod:`repro.kernel` — the ``std::async`` baseline: one OS thread per
+  task, a time-sliced kernel scheduler and per-thread memory accounting.
+- :mod:`repro.counters` — the paper's contribution: an HPX-style
+  performance-counter framework (name grammar, discovery, evaluate /
+  reset, periodic query).
+- :mod:`repro.papi` — simulated hardware event counters (offcore
+  requests, cycles, instructions) fed by the machine model.
+- :mod:`repro.inncabs` — all fourteen Inncabs benchmarks written against
+  a runtime-agnostic task API.
+- :mod:`repro.tools` — models of the TAU and HPCToolkit external tools
+  used for Table I.
+- :mod:`repro.apex` — an APEX-style introspection / adaptation layer.
+- :mod:`repro.experiments` — the strong-scaling harness and the
+  generators for every table and figure in the paper.
+
+Quickstart::
+
+    from repro import run_benchmark
+    result = run_benchmark("fib", runtime="hpx", cores=4)
+    print(result.exec_time_us)
+"""
+
+from repro._version import __version__
+from repro.experiments.runner import RunResult, run_benchmark
+from repro.inncabs.suite import available_benchmarks, get_benchmark
+
+__all__ = [
+    "__version__",
+    "run_benchmark",
+    "RunResult",
+    "available_benchmarks",
+    "get_benchmark",
+]

@@ -1,0 +1,25 @@
+"""APEX-style introspection and runtime adaptation (Section VII).
+
+APEX "takes advantage of the HPX performance counter framework to
+gather arbitrary knowledge about the system and uses the information to
+make runtime-adaptive decisions based on user defined policies".  The
+paper names this as the purpose the counter framework paves the way
+for; this package demonstrates it:
+
+- :class:`~repro.apex.policy.PolicyEngine` samples a set of counters on
+  a simulated period and fires user policies on each sample;
+- :class:`~repro.apex.throttle.ConcurrencyThrottlePolicy` uses the
+  idle-rate and task-duration counters to shrink or grow the number of
+  active workers — the paper's "throttling the number of cores used to
+  save energy" example.
+"""
+
+from repro.apex.policy import PolicyDecision, PolicyEngine, PolicyRule
+from repro.apex.throttle import ConcurrencyThrottlePolicy
+
+__all__ = [
+    "ConcurrencyThrottlePolicy",
+    "PolicyDecision",
+    "PolicyEngine",
+    "PolicyRule",
+]

@@ -1,0 +1,99 @@
+"""The APEX policy engine.
+
+Periodically samples a set of performance counters and runs user
+policies over the sample.  Policies return decisions (or ``None``);
+every fired decision is recorded with its simulated timestamp, so
+adaptation behaviour is fully inspectable after a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.counters.manager import ActiveCounters
+from repro.counters.registry import CounterRegistry
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """One action taken by a policy."""
+
+    action: str
+    value: Any = None
+
+
+@dataclass
+class PolicyRule:
+    """A named policy: ``fn(sample, time_ns) -> PolicyDecision | None``.
+
+    *sample* maps counter names to values for the current period
+    (counters are reset each period, so rate-like counters read
+    per-period values).
+    """
+
+    name: str
+    fn: Callable[[dict[str, float], int], PolicyDecision | None]
+
+
+@dataclass
+class FiredDecision:
+    time_ns: int
+    rule: str
+    decision: PolicyDecision
+
+
+class PolicyEngine:
+    """Sample counters on a period; apply policies on each sample."""
+
+    def __init__(
+        self,
+        *,
+        engine: Any,
+        runtime: Any,
+        registry: CounterRegistry,
+        counter_specs: Sequence[str],
+        period_ns: int,
+        rules: Sequence[PolicyRule] = (),
+    ) -> None:
+        if period_ns <= 0:
+            raise ValueError("period_ns must be positive")
+        self.engine = engine
+        self.runtime = runtime
+        self.active = ActiveCounters(registry, counter_specs)
+        self.period_ns = period_ns
+        self.rules: list[PolicyRule] = list(rules)
+        self.history: list[FiredDecision] = []
+        self.samples: list[dict[str, float]] = []
+        self._running = False
+
+    def add_rule(self, rule: PolicyRule) -> None:
+        self.rules.append(rule)
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.active.start()
+        self.active.reset_active_counters()
+        self.engine.schedule(self.period_ns, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+        self.active.stop()
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        if self.runtime.stats.live_tasks == 0:
+            self.stop()
+            return
+        sample = self.active.evaluate_dict(reset=True)
+        self.samples.append(sample)
+        for rule in self.rules:
+            decision = rule.fn(sample, self.engine.now)
+            if decision is not None:
+                self.history.append(
+                    FiredDecision(time_ns=self.engine.now, rule=rule.name, decision=decision)
+                )
+        self.engine.schedule(self.period_ns, self._tick)

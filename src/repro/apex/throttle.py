@@ -1,0 +1,48 @@
+"""Counter-driven concurrency throttling.
+
+The paper (Sections V-C and VII) motivates hardware/software counters
+"to ascertain information that can be used for decision making such as
+throttling the number of cores used to save energy".  This policy does
+exactly that: when workers sit idle (idle-rate above the upper bound)
+it parks one; when the pool saturates (idle-rate below the lower
+bound) it unparks one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apex.policy import PolicyDecision, PolicyRule
+
+IDLE_RATE_COUNTER = "/threads{locality#0/total}/idle-rate"
+
+
+@dataclass
+class ConcurrencyThrottlePolicy:
+    """Hysteresis controller over the idle-rate counter.
+
+    idle-rate is in HPX's 0.01 % units (10000 = fully idle).
+    """
+
+    runtime: object
+    upper_idle: float = 3000.0  # >30% idle: shed a worker
+    lower_idle: float = 500.0  # <5% idle: grow back
+    min_workers: int = 1
+
+    def rule(self) -> PolicyRule:
+        return PolicyRule(name="concurrency-throttle", fn=self._decide)
+
+    def _decide(self, sample: dict[str, float], _now: int) -> PolicyDecision | None:
+        idle = sample.get(IDLE_RATE_COUNTER)
+        if idle is None:
+            raise KeyError(
+                f"throttle policy needs {IDLE_RATE_COUNTER} in its counter set"
+            )
+        active = self.runtime.active_workers
+        if idle > self.upper_idle and active > self.min_workers:
+            self.runtime.set_active_workers(active - 1)
+            return PolicyDecision(action="park-worker", value=active - 1)
+        if idle < self.lower_idle and active < self.runtime.num_workers:
+            self.runtime.set_active_workers(active + 1)
+            return PolicyDecision(action="unpark-worker", value=active + 1)
+        return None

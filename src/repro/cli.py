@@ -1,0 +1,280 @@
+"""Command-line interface.
+
+Mirrors the convenience layer the paper describes ("all HPX
+applications provide command line options related to performance
+counters, such as the ability to list available counter types, or
+periodically query specific counters"):
+
+- ``repro list-benchmarks`` — the Inncabs suite;
+- ``repro list-counters [--pattern ...]`` — counter-type discovery;
+- ``repro run BENCH --runtime hpx --cores 8 --print-counter NAME ...``
+  — one run with counters printed CSV-style;
+- ``repro table1`` / ``repro table5`` — regenerate the paper's tables;
+- ``repro figure fig5`` — regenerate one figure's series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Sequence
+
+from repro.counters.base import CounterEnvironment
+from repro.counters.manager import format_counter_values
+from repro.counters.registry import build_default_registry
+from repro.experiments.config import DEFAULT_COUNTERS, ExperimentConfig
+from repro.experiments.figures import (
+    BANDWIDTH_FIGURES,
+    EXEC_TIME_FIGURES,
+    OVERHEAD_FIGURES,
+    bandwidth_figure,
+    execution_time_figure,
+    overhead_figure,
+)
+from repro.experiments.runner import run_benchmark
+from repro.experiments.tables import table1, table5
+from repro.experiments.report import (
+    render_bandwidth_figure,
+    render_execution_time_figure,
+    render_overhead_figure,
+    render_table1,
+    render_table5,
+)
+from repro.inncabs.suite import available_benchmarks, get_benchmark
+from repro.papi.hw import PapiSubstrate
+from repro.runtime.scheduler import HpxRuntime
+from repro.simcore.events import Engine
+from repro.simcore.machine import Machine
+
+
+def _parse_params(pairs: Sequence[str]) -> dict[str, Any]:
+    params: dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--param expects key=value, got {pair!r}")
+        key, value = pair.split("=", 1)
+        try:
+            params[key] = int(value)
+        except ValueError:
+            try:
+                params[key] = float(value)
+            except ValueError:
+                params[key] = value
+    return params
+
+
+def cmd_list_benchmarks(_args: argparse.Namespace) -> int:
+    for name in available_benchmarks():
+        info = get_benchmark(name).info
+        print(
+            f"{name:11s} {info.structure:21s} {info.paper_granularity:18s} {info.description}"
+        )
+    return 0
+
+
+def cmd_list_counters(args: argparse.Namespace) -> int:
+    engine = Engine()
+    machine = Machine()
+    runtime = HpxRuntime(engine, machine, num_workers=args.cores)
+    env = CounterEnvironment(
+        engine=engine, runtime=runtime, machine=machine, papi=PapiSubstrate(machine)
+    )
+    registry = build_default_registry(env)
+    for entry in registry.counter_types(args.pattern):
+        info = entry.info
+        unit = f" [{info.unit}]" if info.unit else ""
+        print(f"{info.type_name:55s} {info.counter_type.value:25s}{unit}")
+        if args.verbose:
+            print(f"    {info.help_text}")
+            for inst_name, inst_index in entry.instances(registry.env):
+                suffix = "" if inst_index is None else f"#{inst_index}"
+                object_name, counter = info.type_name[1:].split("/", 1)
+                print(
+                    f"      /{object_name}{{locality#0/{inst_name}{suffix}}}/{counter}"
+                )
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.inncabs.presets import preset_params
+
+    from repro.counters.manager import format_counter_values
+
+    specs = tuple(args.print_counter) if args.print_counter else DEFAULT_COUNTERS
+    params = preset_params(args.benchmark, args.preset)
+    params.update(_parse_params(args.param))
+    destination = None
+    sink = None
+    if args.print_counter_interval is not None:
+        if args.print_counter_destination:
+            destination = open(args.print_counter_destination, "w")
+            sink = lambda rows: print(format_counter_values(rows), file=destination)
+        else:
+            sink = lambda rows: print(format_counter_values(rows))
+    try:
+        result = run_benchmark(
+            args.benchmark,
+            runtime=args.runtime,
+            cores=args.cores,
+            params=params,
+            counter_specs=specs if args.runtime == "hpx" else None,
+            collect_counters=not args.no_counters,
+            query_interval_ns=(
+                None
+                if args.print_counter_interval is None
+                else round(args.print_counter_interval * 1e6)
+            ),
+            query_sink=sink,
+        )
+    finally:
+        if destination is not None:
+            destination.close()
+    if result.aborted:
+        print(f"{args.benchmark} [{args.runtime}, {args.cores} cores]: ABORT")
+        print(f"  {result.abort_reason}")
+        return 1
+    print(
+        f"{args.benchmark} [{args.runtime}, {args.cores} cores]: "
+        f"{result.exec_time_ms:.3f} ms, {result.tasks_executed} tasks, "
+        f"verified={result.verified}"
+    )
+    if result.counters:
+        print("counter,count,time,value")
+        for name, value in result.counters.items():
+            print(f"{name},1,{result.exec_time_ns},{value:g}")
+    return 0 if result.verified else 1
+
+
+def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
+    kwargs: dict[str, Any] = {}
+    if getattr(args, "samples", None):
+        kwargs["samples"] = args.samples
+    if getattr(args, "cores_list", None):
+        kwargs["core_counts"] = tuple(int(c) for c in args.cores_list.split(","))
+    return ExperimentConfig(**kwargs)
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    rows = table1(benchmarks=args.benchmarks or None, cores=args.cores)
+    print(render_table1(rows))
+    return 0
+
+
+def cmd_table5(args: argparse.Namespace) -> int:
+    config = _experiment_config(args)
+    rows = table5(benchmarks=args.benchmarks or None, config=config)
+    print(render_table5(rows))
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    config = _experiment_config(args)
+    fig = args.figure.lower()
+    if fig in EXEC_TIME_FIGURES:
+        print(render_execution_time_figure(execution_time_figure(fig, config=config)))
+    elif fig in OVERHEAD_FIGURES:
+        print(render_overhead_figure(overhead_figure(fig, config=config)))
+    elif fig in BANDWIDTH_FIGURES:
+        print(render_bandwidth_figure(bandwidth_figure(fig, config=config)))
+    else:
+        known = sorted({**EXEC_TIME_FIGURES, **OVERHEAD_FIGURES, **BANDWIDTH_FIGURES})
+        raise SystemExit(f"unknown figure {args.figure!r}; known: {', '.join(known)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Using Intrinsic Performance Counters to "
+        "Assess Efficiency in Task-based Parallel Applications'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("list-benchmarks", help="list the Inncabs suite")
+    p.set_defaults(fn=cmd_list_benchmarks)
+
+    p = sub.add_parser("list-counters", help="list available counter types")
+    p.add_argument("--pattern", default=None, help="glob over type names")
+    p.add_argument("--cores", type=int, default=4)
+    p.add_argument("--verbose", action="store_true", help="show help text and instances")
+    p.set_defaults(fn=cmd_list_counters)
+
+    p = sub.add_parser("run", help="run one benchmark")
+    p.add_argument("benchmark", choices=available_benchmarks())
+    p.add_argument("--runtime", choices=("hpx", "std"), default="hpx")
+    p.add_argument("--cores", type=int, default=1)
+    p.add_argument(
+        "--print-counter",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="counter to collect (repeatable); default: the paper's set",
+    )
+    p.add_argument("--no-counters", action="store_true", help="disable instrumentation")
+    p.add_argument(
+        "--print-counter-interval",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="sample the counters every MS of simulated time, in-band "
+        "(the --hpx:print-counter-interval convenience layer)",
+    )
+    p.add_argument(
+        "--print-counter-destination",
+        default=None,
+        metavar="FILE",
+        help="write interval samples to FILE instead of stdout",
+    )
+    p.add_argument("--param", action="append", default=[], metavar="KEY=VALUE")
+    p.add_argument(
+        "--preset",
+        choices=("small", "default", "large"),
+        default="default",
+        help="input set (Inncabs-style); --param overrides on top",
+    )
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("table1", help="regenerate Table I (external tools)")
+    p.add_argument("--benchmarks", nargs="*", default=None)
+    p.add_argument("--cores", type=int, default=20)
+    p.set_defaults(fn=cmd_table1)
+
+    p = sub.add_parser("table5", help="regenerate Table V (classification)")
+    p.add_argument("--benchmarks", nargs="*", default=None)
+    p.add_argument("--samples", type=int, default=None)
+    p.add_argument("--cores-list", default=None, help="comma-separated core counts")
+    p.set_defaults(fn=cmd_table5)
+
+    p = sub.add_parser("figure", help="regenerate one figure's series")
+    p.add_argument("figure", help="fig1..fig14")
+    p.add_argument("--samples", type=int, default=None)
+    p.add_argument("--cores-list", default=None, help="comma-separated core counts")
+    p.set_defaults(fn=cmd_figure)
+
+    p = sub.add_parser(
+        "generate", help="regenerate every table and figure into a directory"
+    )
+    p.add_argument("outdir", nargs="?", default="results")
+    p.add_argument("--samples", type=int, default=1)
+    p.set_defaults(fn=cmd_generate)
+
+    return parser
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments.generate import generate_all
+
+    generate_all(Path(args.outdir), samples=args.samples)
+    print(f"wrote results to {args.outdir}/")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""Statistics (aggregating) counters.
+
+HPX exposes ``/statistics{<underlying>}/<op>`` counters that apply a
+statistical operation over periodically sampled values of an underlying
+counter — e.g.
+``/statistics{/threads{locality#0/total}/time/average}/rolling_average@3``.
+
+Ours sample the underlying counter at every evaluation and keep a
+bounded history; the ``@N`` parameter sets the rolling-window length
+(default 10).  Supported operations: ``average``, ``rolling_average``,
+``min``, ``max``, ``stddev``, ``median``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.counters.base import CounterEnvironment, CounterInfo, PerformanceCounter
+from repro.counters.names import CounterName
+
+SUPPORTED_OPS = ("average", "rolling_average", "min", "max", "stddev", "median")
+DEFAULT_WINDOW = 10
+
+
+class StatisticsCounter(PerformanceCounter):
+    """Aggregation over sampled values of an underlying counter."""
+
+    def __init__(
+        self,
+        name: CounterName,
+        info: CounterInfo,
+        env: CounterEnvironment,
+        underlying: PerformanceCounter,
+        op: str,
+        window: int = DEFAULT_WINDOW,
+    ) -> None:
+        super().__init__(name, info, env)
+        if op not in SUPPORTED_OPS:
+            raise ValueError(f"unsupported statistics op {op!r}; use one of {SUPPORTED_OPS}")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.underlying = underlying
+        self.op = op
+        # 'average' accumulates over the whole reset interval; windowed
+        # ops use a bounded deque.
+        self._window = window if op != "average" else None
+        self._samples: deque[float] = deque(maxlen=self._window)
+
+    def sample(self) -> None:
+        """Record one sample of the underlying counter."""
+        self._samples.append(self.underlying.read())
+
+    def read(self) -> float:
+        self.sample()
+        values = list(self._samples)
+        if not values:
+            return 0.0
+        if self.op in ("average", "rolling_average"):
+            return sum(values) / len(values)
+        if self.op == "min":
+            return min(values)
+        if self.op == "max":
+            return max(values)
+        if self.op == "median":
+            values.sort()
+            mid = len(values) // 2
+            if len(values) % 2:
+                return values[mid]
+            return (values[mid - 1] + values[mid]) / 2.0
+        if self.op == "stddev":
+            mean = sum(values) / len(values)
+            return math.sqrt(sum((v - mean) ** 2 for v in values) / len(values))
+        raise AssertionError(self.op)
+
+    def reset(self) -> None:
+        self._samples.clear()
+        self.underlying.reset()
+
+    def start(self) -> None:
+        super().start()
+        self.underlying.start()
+
+    def stop(self) -> None:
+        super().stop()
+        self.underlying.stop()

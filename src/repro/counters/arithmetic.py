@@ -1,0 +1,89 @@
+"""Arithmetic counters: derived ratios/combinations of other counters.
+
+``/arithmetics/<op>@<counter1>,<counter2>,...`` evaluates the named
+underlying counters and combines them — the mechanism the paper
+mentions for "deriving ratios from combinations of counters".  The
+bandwidth estimate of Figures 13/14, for example, is
+
+    (ALL_DATA_RD + DEMAND_CODE_RD + DEMAND_RFO) * 64 bytes / elapsed time
+
+expressible as nested ``add`` / ``divide`` / ``scale`` counters.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.counters.base import CounterEnvironment, CounterInfo, PerformanceCounter
+from repro.counters.names import CounterName
+
+SUPPORTED_OPS = ("add", "subtract", "multiply", "divide", "mean", "scale")
+
+
+class ArithmeticCounter(PerformanceCounter):
+    """Combine underlying counters with one arithmetic operation.
+
+    ``scale`` expects exactly one underlying counter; its factor is the
+    trailing ``;factor=<float>`` element of the parameter list.
+    """
+
+    def __init__(
+        self,
+        name: CounterName,
+        info: CounterInfo,
+        env: CounterEnvironment,
+        underlying: Sequence[PerformanceCounter],
+        op: str,
+        factor: float = 1.0,
+    ) -> None:
+        super().__init__(name, info, env)
+        if op not in SUPPORTED_OPS:
+            raise ValueError(f"unsupported arithmetic op {op!r}; use one of {SUPPORTED_OPS}")
+        if not underlying:
+            raise ValueError("arithmetic counter needs at least one underlying counter")
+        if op == "scale" and len(underlying) != 1:
+            raise ValueError("scale takes exactly one underlying counter")
+        if op in ("subtract", "divide") and len(underlying) < 2:
+            raise ValueError(f"{op} needs at least two underlying counters")
+        self.underlying = list(underlying)
+        self.op = op
+        self.factor = factor
+
+    def read(self) -> float:
+        values = [c.read() for c in self.underlying]
+        if self.op == "add":
+            return sum(values)
+        if self.op == "subtract":
+            result = values[0]
+            for v in values[1:]:
+                result -= v
+            return result
+        if self.op == "multiply":
+            result = 1.0
+            for v in values:
+                result *= v
+            return result
+        if self.op == "divide":
+            result = values[0]
+            for v in values[1:]:
+                result = result / v if v else 0.0
+            return result
+        if self.op == "mean":
+            return sum(values) / len(values)
+        if self.op == "scale":
+            return values[0] * self.factor
+        raise AssertionError(self.op)
+
+    def reset(self) -> None:
+        for counter in self.underlying:
+            counter.reset()
+
+    def start(self) -> None:
+        super().start()
+        for counter in self.underlying:
+            counter.start()
+
+    def stop(self) -> None:
+        super().stop()
+        for counter in self.underlying:
+            counter.stop()

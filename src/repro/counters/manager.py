@@ -1,0 +1,95 @@
+"""Active-counter management.
+
+Reproduces the API the paper uses around every benchmark sample::
+
+    hpx::evaluate_active_counters(reset, description)
+    hpx::reset_active_counters()
+
+:class:`ActiveCounters` owns the set of counters named on the
+(simulated) command line, starts their instrumentation, and evaluates /
+resets them as a group.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.counters.base import PerformanceCounter
+from repro.counters.registry import CounterRegistry
+from repro.counters.types import CounterValue
+
+
+class ActiveCounters:
+    """The set of counters currently being collected."""
+
+    def __init__(self, registry: CounterRegistry, specs: Sequence[str]) -> None:
+        self.registry = registry
+        self.counters: list[PerformanceCounter] = registry.create_counters(specs)
+        self._started = False
+
+    def __len__(self) -> int:
+        return len(self.counters)
+
+    def names(self) -> list[str]:
+        return [str(c.name) for c in self.counters]
+
+    # -- life cycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Activate instrumentation for every counter."""
+        if self._started:
+            return
+        self._started = True
+        for counter in self.counters:
+            counter.start()
+
+    def stop(self) -> None:
+        if not self._started:
+            return
+        self._started = False
+        for counter in self.counters:
+            counter.stop()
+
+    # -- the paper's API -------------------------------------------------------
+
+    def evaluate_active_counters(
+        self, *, reset: bool = False, description: str | None = None
+    ) -> list[CounterValue]:
+        """Evaluate every active counter; optionally reset atomically.
+
+        *description* tags the sample (the paper labels each sample's
+        output); it is attached to the returned values' names when given.
+        """
+        values = [c.get_counter_value(reset=reset) for c in self.counters]
+        if description:
+            values = [
+                CounterValue(
+                    name=f"{v.name} [{description}]",
+                    value=v.value,
+                    time=v.time,
+                    count=v.count,
+                    status=v.status,
+                )
+                for v in values
+            ]
+        return values
+
+    def reset_active_counters(self) -> None:
+        """Re-baseline every active counter."""
+        for counter in self.counters:
+            counter.reset()
+
+    # -- convenience ---------------------------------------------------------------
+
+    def evaluate_dict(self, *, reset: bool = False) -> dict[str, float]:
+        """{counter name: value} for the current evaluation."""
+        return {
+            str(c.name): c.get_counter_value(reset=reset).value for c in self.counters
+        }
+
+
+def format_counter_values(values: Iterable[CounterValue]) -> str:
+    """Render values in the HPX ``--hpx:print-counter`` CSV style:
+    ``name,count,time[ns],value``."""
+    lines = [f"{v.name},{v.count},{v.time},{v.value:g}" for v in values]
+    return "\n".join(lines)

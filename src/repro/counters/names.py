@@ -1,0 +1,187 @@
+"""Counter-name grammar.
+
+HPX performance counter instances are accessed by name with the
+predefined structure::
+
+    /objectname{parentinstancename#parentindex/instancename#instanceindex}/countername@parameters
+
+Examples from the paper:
+
+- ``/threads{locality#0/total}/time/average``
+- ``/threads{locality#0/worker-thread#1}/count/cumulative``
+- ``/papi{locality#0/total}/OFFCORE_REQUESTS:ALL_DATA_RD``
+- ``/arithmetics/add@/threads{locality#0/total}/time/average,/threads{locality#0/total}/time/average-overhead``
+- ``/statistics{/threads{locality#0/total}/time/average}/rolling_average@5``
+
+The instance part may be omitted (defaults to ``locality#0/total``),
+either index may be the wildcard ``*`` (expanded at discovery time),
+and — for statistics counters — the instance may itself be a full
+counter name (nested braces are handled).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+
+_INSTANCE_RE = re.compile(
+    r"""
+    ^(?P<parent>[a-zA-Z_][\w\-]*)\#(?P<pidx>\d+|\*)       # locality#0
+    (?:/(?P<inst>[a-zA-Z_][\w\-]*)(?:\#(?P<idx>\d+|\*))?)?$  # /worker-thread#1
+    """,
+    re.VERBOSE,
+)
+
+_OBJECT_RE = re.compile(r"^[a-zA-Z_][\w\-]*$")
+
+DEFAULT_PARENT = "locality"
+DEFAULT_INSTANCE = "total"
+
+
+class CounterNameError(ValueError):
+    """Malformed counter name."""
+
+
+@dataclass(frozen=True)
+class CounterName:
+    """Structured form of a performance-counter name."""
+
+    object_name: str
+    counter_name: str
+    parent_instance: str = DEFAULT_PARENT
+    parent_index: int | None = 0  # None means wildcard '*'
+    instance_name: str = DEFAULT_INSTANCE
+    instance_index: int | None = None
+    instance_is_wildcard: bool = False
+    parameters: str | None = None
+    # For statistics counters the instance is itself a counter name.
+    embedded_instance: str | None = None
+
+    @property
+    def full_instance(self) -> str:
+        if self.embedded_instance is not None:
+            return self.embedded_instance
+        pidx = "*" if self.parent_index is None else str(self.parent_index)
+        base = f"{self.parent_instance}#{pidx}/{self.instance_name}"
+        if self.instance_is_wildcard:
+            return f"{base}#*"
+        if self.instance_index is not None:
+            return f"{base}#{self.instance_index}"
+        return base
+
+    @property
+    def type_name(self) -> str:
+        """The counter *type* this instance belongs to: /object/counter."""
+        return f"/{self.object_name}/{self.counter_name}"
+
+    @property
+    def has_wildcard(self) -> bool:
+        return self.instance_is_wildcard or self.parent_index is None
+
+    def with_instance(self, instance_name: str, instance_index: int | None) -> "CounterName":
+        """Concrete copy for one discovered instance."""
+        return replace(
+            self,
+            instance_name=instance_name,
+            instance_index=instance_index,
+            instance_is_wildcard=False,
+            parent_index=0 if self.parent_index is None else self.parent_index,
+        )
+
+    def __str__(self) -> str:
+        return format_counter_name(self)
+
+
+def _split_instance(text: str) -> tuple[str, str | None, str]:
+    """Split ``/object{instance}/rest`` handling nested braces.
+
+    Returns (object_name, instance_or_None, rest_after_instance).
+    """
+    if not text.startswith("/"):
+        raise CounterNameError(f"counter name must start with '/': {text!r}")
+    body = text[1:]
+    brace = body.find("{")
+    slash = body.find("/")
+    if brace == -1 or (slash != -1 and slash < brace):
+        # No instance part: /object/counter...
+        if slash == -1:
+            raise CounterNameError(f"missing counter name: {text!r}")
+        return body[:slash], None, body[slash:]
+    object_name = body[:brace]
+    depth = 0
+    for i in range(brace, len(body)):
+        if body[i] == "{":
+            depth += 1
+        elif body[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return object_name, body[brace + 1 : i], body[i + 1 :]
+    raise CounterNameError(f"unbalanced braces in counter name: {text!r}")
+
+
+def parse_counter_name(text: str) -> CounterName:
+    """Parse a counter-name string into a :class:`CounterName`.
+
+    Raises :class:`CounterNameError` on malformed input.
+    """
+    text = text.strip()
+    object_name, instance, rest = _split_instance(text)
+    if not _OBJECT_RE.match(object_name):
+        raise CounterNameError(f"malformed object name {object_name!r} in {text!r}")
+    if not rest.startswith("/"):
+        raise CounterNameError(f"missing counter name after instance in {text!r}")
+    rest = rest[1:]
+    params: str | None = None
+    if "@" in rest:
+        rest, params = rest.split("@", 1)
+    counter_name = rest.strip("/")
+    if not counter_name:
+        raise CounterNameError(f"empty counter name in {text!r}")
+
+    parent = DEFAULT_PARENT
+    parent_index: int | None = 0
+    inst_name = DEFAULT_INSTANCE
+    inst_index: int | None = None
+    inst_wild = False
+    embedded: str | None = None
+
+    if instance:
+        instance = instance.strip()
+        if instance.startswith("/"):
+            embedded = instance
+        else:
+            imatch = _INSTANCE_RE.match(instance)
+            if not imatch:
+                raise CounterNameError(
+                    f"malformed counter instance: {instance!r} in {text!r}"
+                )
+            parent = imatch.group("parent")
+            pidx = imatch.group("pidx")
+            parent_index = None if pidx == "*" else int(pidx)
+            if imatch.group("inst"):
+                inst_name = imatch.group("inst")
+                idx = imatch.group("idx")
+                if idx == "*":
+                    inst_wild = True
+                elif idx is not None:
+                    inst_index = int(idx)
+
+    return CounterName(
+        object_name=object_name,
+        counter_name=counter_name,
+        parent_instance=parent,
+        parent_index=parent_index,
+        instance_name=inst_name,
+        instance_index=inst_index,
+        instance_is_wildcard=inst_wild,
+        parameters=params,
+        embedded_instance=embedded,
+    )
+
+
+def format_counter_name(name: CounterName) -> str:
+    """Render a :class:`CounterName` back to its canonical string form."""
+    text = f"/{name.object_name}{{{name.full_instance}}}/{name.counter_name}"
+    if name.parameters is not None:
+        text += f"@{name.parameters}"
+    return text

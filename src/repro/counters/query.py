@@ -1,0 +1,107 @@
+"""Periodic counter querying — the command-line convenience layer.
+
+Reproduces ``--hpx:print-counter <name> --hpx:print-counter-interval
+<ms>``: the named counters are sampled on a fixed simulated interval
+and the rows handed to a sink (print, CSV file, list, ...).
+
+Queries can run *in-band*: each sample executes as an HPX task that
+consumes scheduler time proportional to the number of counters queried,
+perturbing the application exactly like a real self-monitoring run.
+This is what the counter-overhead experiment measures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.counters.manager import ActiveCounters
+from repro.counters.types import CounterValue
+
+# Cost of evaluating one counter through the (simulated) counter API
+# from an in-band query task.
+QUERY_COST_PER_COUNTER_NS = 800
+
+Sink = Callable[[list[CounterValue]], None]
+
+
+class PeriodicQuery:
+    """Sample an :class:`ActiveCounters` set every *interval_ns*.
+
+    With ``in_band=True`` (default) each sample is executed as a task on
+    the runtime; with ``in_band=False`` sampling is free (an external
+    observer).  The query stops itself when the application quiesces
+    (no live tasks) so the event queue can drain.
+    """
+
+    def __init__(
+        self,
+        active: ActiveCounters,
+        *,
+        engine: Any,
+        runtime: Any = None,
+        interval_ns: int,
+        sink: Sink | None = None,
+        in_band: bool = True,
+        reset_each_sample: bool = False,
+    ) -> None:
+        if interval_ns <= 0:
+            raise ValueError("interval_ns must be positive")
+        self.active = active
+        self.engine = engine
+        self.runtime = runtime
+        self.interval_ns = interval_ns
+        self.samples: list[list[CounterValue]] = []
+        self.sink = sink
+        self.in_band = in_band
+        self.reset_each_sample = reset_each_sample
+        self._running = False
+        if in_band and runtime is None:
+            raise ValueError("in-band queries need a runtime")
+
+    # -- control ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin sampling (first sample after one interval)."""
+        if self._running:
+            return
+        self._running = True
+        self.active.start()
+        self.engine.schedule(self.interval_ns, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+        self.active.stop()
+
+    # -- internals -----------------------------------------------------------
+
+    def _app_live(self) -> bool:
+        return self.runtime is None or self.runtime.stats.live_tasks > 0
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        if not self._app_live():
+            self.stop()
+            return
+        if self.in_band:
+            self.runtime.submit(self._query_task)
+        else:
+            self._record()
+            self.engine.schedule(self.interval_ns, self._tick)
+
+    def _query_task(self, ctx: Any) -> Any:
+        """The in-band query: an HPX task costing time per counter."""
+        cost = QUERY_COST_PER_COUNTER_NS * len(self.active)
+        yield ctx.compute(cost)
+        self._record()
+        if self._running and self._app_live():
+            self.engine.schedule(self.interval_ns, self._tick)
+        else:
+            self.stop()
+        return None
+
+    def _record(self) -> None:
+        values = self.active.evaluate_active_counters(reset=self.reset_each_sample)
+        self.samples.append(values)
+        if self.sink is not None:
+            self.sink(values)

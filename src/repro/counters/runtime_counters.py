@@ -1,0 +1,82 @@
+"""General runtime counters (``/runtime/...``)."""
+
+from __future__ import annotations
+
+from repro.counters.base import (
+    CounterEnvironment,
+    CounterInfo,
+    ElapsedTimeCounter,
+    PerformanceCounter,
+    RawCounter,
+)
+from repro.counters.names import CounterName
+from repro.counters.registry import CounterRegistry, CounterTypeEntry
+from repro.counters.types import CounterType
+
+
+def _total_only(env: CounterEnvironment) -> list[tuple[str, int | None]]:
+    return [("total", None)]
+
+
+def register_runtime_counters(registry: CounterRegistry) -> None:
+    """Register ``/runtime/uptime`` and ``/runtime/count/tasks-live``."""
+
+    def uptime_factory(
+        name: CounterName, info: CounterInfo, env: CounterEnvironment
+    ) -> PerformanceCounter:
+        return ElapsedTimeCounter(name, info, env)
+
+    registry.register(
+        CounterTypeEntry(
+            info=CounterInfo(
+                type_name="/runtime/uptime",
+                counter_type=CounterType.ELAPSED_TIME,
+                help_text="Simulated wall time since last reset",
+                unit="ns",
+            ),
+            factory=uptime_factory,
+            instances=_total_only,
+        )
+    )
+
+    def live_factory(
+        name: CounterName, info: CounterInfo, env: CounterEnvironment
+    ) -> PerformanceCounter:
+        runtime = env.require("runtime")
+        return RawCounter(name, info, env, lambda: runtime.stats.live_tasks)
+
+    registry.register(
+        CounterTypeEntry(
+            info=CounterInfo(
+                type_name="/runtime/count/tasks-live",
+                counter_type=CounterType.RAW,
+                help_text="Instantaneous number of live (unterminated) tasks",
+            ),
+            factory=live_factory,
+            instances=_total_only,
+        )
+    )
+
+    def utilization_factory(
+        name: CounterName, info: CounterInfo, env: CounterEnvironment
+    ) -> PerformanceCounter:
+        runtime = env.require("runtime")
+
+        def read() -> float:
+            busy = sum(1 for w in runtime.workers if w.current is not None)
+            return busy / runtime.num_workers * 100.0
+
+        return RawCounter(name, info, env, read)
+
+    registry.register(
+        CounterTypeEntry(
+            info=CounterInfo(
+                type_name="/scheduler/utilization/instantaneous",
+                counter_type=CounterType.RAW,
+                help_text="Percentage of workers currently executing a task",
+                unit="%",
+            ),
+            factory=utilization_factory,
+            instances=_total_only,
+        )
+    )

@@ -1,0 +1,46 @@
+"""Counter value/type/status records."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class CounterType(enum.Enum):
+    """Semantic class of a counter (mirrors HPX's counter_type)."""
+
+    RAW = "raw"  # instantaneous value (queue length)
+    MONOTONICALLY_INCREASING = "monotonically_increasing"  # cumulative counts/times
+    AVERAGE_COUNT = "average_count"  # sum / number-of-events ratio
+    AVERAGE_TIMER = "average_timer"  # time sum / number-of-events ratio
+    ELAPSED_TIME = "elapsed_time"  # wall time since reset
+    AGGREGATING = "aggregating"  # statistics over an underlying counter
+    ARITHMETIC = "arithmetic"  # combination of underlying counters
+
+
+class CounterStatus(enum.Enum):
+    """Result status of one evaluation."""
+
+    VALID_DATA = "valid_data"
+    NEW_DATA = "new_data"
+    INVALID_DATA = "invalid_data"
+
+
+@dataclass(frozen=True)
+class CounterValue:
+    """One evaluation result.
+
+    ``value`` carries the counter reading; ``count`` is the evaluation
+    sequence number; ``time`` is the simulated timestamp in ns.
+    Unit is declared by the counter's :class:`~repro.counters.base.CounterInfo`.
+    """
+
+    name: str
+    value: float
+    time: int
+    count: int
+    status: CounterStatus = CounterStatus.VALID_DATA
+
+    def scaled(self, factor: float) -> float:
+        """Convenience: the value multiplied by *factor*."""
+        return self.value * factor

@@ -1,0 +1,32 @@
+"""Distributed HPX model: localities, parcels, AGAS, remote counters.
+
+The paper emphasises that HPX "employs a unified API for both parallel
+and distributed applications" and that "any Performance Counter can be
+accessed remotely (from a different location) or locally (from the same
+locality)".  This package models the distributed substrate those claims
+rest on:
+
+- a :class:`~repro.distributed.system.DistributedSystem` of localities,
+  each with its own machine, HPX runtime and counter registry, sharing
+  one simulated clock;
+- a :class:`~repro.distributed.parcel.Parcelport` per locality moving
+  action invocations over a latency/bandwidth network model, with
+  ``/parcels/...`` counters;
+- an :class:`~repro.distributed.agas.AgasService` (Active Global
+  Address Space) on locality 0 resolving symbolic names, with caching
+  and ``/agas/...`` counters;
+- remote counter queries: evaluate any counter on any locality from any
+  other locality, in-band, over parcels.
+"""
+
+from repro.distributed.agas import AgasService
+from repro.distributed.parcel import NetworkParams, Parcel, Parcelport
+from repro.distributed.system import DistributedSystem
+
+__all__ = [
+    "AgasService",
+    "DistributedSystem",
+    "NetworkParams",
+    "Parcel",
+    "Parcelport",
+]

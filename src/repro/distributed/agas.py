@@ -1,0 +1,82 @@
+"""AGAS — the Active Global Address Space (symbolic name service).
+
+A minimal model of HPX's AGAS: a symbolic-namespace service hosted on
+locality 0 mapping names to (locality, payload) entries.  Localities
+resolve names through parcels and keep a local cache; binds invalidate
+nothing here (entries are write-once per name, matching how counter
+components register themselves).
+
+Backs the ``/agas/...`` performance counters (binds, resolves, cache
+hits/misses) — one of the paper's four counter groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class AgasError(KeyError):
+    """Unknown or duplicate symbolic name."""
+
+
+@dataclass
+class AgasStats:
+    binds: int = 0
+    resolves: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+@dataclass(frozen=True)
+class AgasEntry:
+    name: str
+    locality: int
+    payload: Any = None
+
+
+class AgasService:
+    """The authoritative name table (lives on locality 0)."""
+
+    def __init__(self) -> None:
+        self._table: dict[str, AgasEntry] = {}
+        self.stats = AgasStats()
+
+    def bind(self, name: str, locality: int, payload: Any = None) -> AgasEntry:
+        """Register *name*; duplicate binds are an error."""
+        if name in self._table:
+            raise AgasError(f"symbolic name already bound: {name!r}")
+        entry = AgasEntry(name=name, locality=locality, payload=payload)
+        self._table[name] = entry
+        self.stats.binds += 1
+        return entry
+
+    def resolve(self, name: str) -> AgasEntry:
+        self.stats.resolves += 1
+        try:
+            return self._table[name]
+        except KeyError:
+            raise AgasError(f"unknown symbolic name: {name!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+
+class AgasCache:
+    """Per-locality resolution cache."""
+
+    def __init__(self, service: AgasService) -> None:
+        self.service = service
+        self._cache: dict[str, AgasEntry] = {}
+
+    def lookup(self, name: str) -> AgasEntry | None:
+        """Cache-only lookup; counts hits/misses on the service stats."""
+        entry = self._cache.get(name)
+        if entry is not None:
+            self.service.stats.cache_hits += 1
+        else:
+            self.service.stats.cache_misses += 1
+        return entry
+
+    def insert(self, entry: AgasEntry) -> None:
+        self._cache[entry.name] = entry

@@ -1,0 +1,111 @@
+"""Parcels: remote action invocations over a modelled interconnect.
+
+A parcel carries an action (a task body) plus serialized arguments to a
+destination locality, where it is scheduled as an ordinary HPX task;
+result parcels travel back the same way.  Transit time = serialization
++ network latency + size/bandwidth, with per-port accounting behind the
+``/parcels/...`` performance counters.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+DEFAULT_PARCEL_OVERHEAD_BYTES = 512
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Cluster-interconnect model (InfiniBand-ish magnitudes)."""
+
+    latency_ns: int = 1_800  # one-way wire + NIC latency
+    bandwidth_bytes_per_s: float = 6e9
+    serialize_ns_per_kb: int = 250  # argument (de)serialization cost
+
+    def transit_ns(self, size_bytes: int) -> int:
+        wire = round(size_bytes / self.bandwidth_bytes_per_s * 1e9)
+        serialize = self.serialize_ns_per_kb * (size_bytes // 1024 + 1)
+        return self.latency_ns + wire + serialize
+
+
+@dataclass(frozen=True)
+class Parcel:
+    """One action invocation in flight."""
+
+    pid: int
+    source: int
+    dest: int
+    action: Callable[..., Any]
+    args: tuple
+    size_bytes: int
+    sent_at: int
+
+
+@dataclass
+class ParcelportStats:
+    """Per-locality parcel accounting (backs /parcels counters)."""
+
+    sent: int = 0
+    received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    latency_sum_ns: int = 0  # sum of receive transit times
+
+
+class Parcelport:
+    """One locality's network endpoint."""
+
+    _pid_counter = itertools.count()
+
+    def __init__(self, locality_id: int, engine: Any, network: NetworkParams) -> None:
+        self.locality_id = locality_id
+        self.engine = engine
+        self.network = network
+        self.stats = ParcelportStats()
+        # Set by the DistributedSystem: dest locality id -> deliver fn.
+        self._deliver: Callable[[Parcel], None] | None = None
+        self._ports: dict[int, "Parcelport"] = {}
+
+    def connect(self, ports: dict[int, "Parcelport"], deliver: Callable[[Parcel], None]) -> None:
+        """Wire this port into the system."""
+        self._ports = ports
+        self._deliver = deliver
+
+    def send(
+        self,
+        dest: int,
+        action: Callable[..., Any],
+        args: tuple,
+        *,
+        payload_bytes: int = 0,
+    ) -> Parcel:
+        """Send an action invocation to *dest*; returns the parcel."""
+        if dest == self.locality_id:
+            raise ValueError("parcels are for remote destinations; call locally instead")
+        if dest not in self._ports:
+            raise KeyError(f"unknown destination locality {dest}")
+        size = DEFAULT_PARCEL_OVERHEAD_BYTES + payload_bytes
+        parcel = Parcel(
+            pid=next(self._pid_counter),
+            source=self.locality_id,
+            dest=dest,
+            action=action,
+            args=args,
+            size_bytes=size,
+            sent_at=self.engine.now,
+        )
+        self.stats.sent += 1
+        self.stats.bytes_sent += size
+        transit = self.network.transit_ns(size)
+        target = self._ports[dest]
+        self.engine.schedule(transit, lambda: target.receive(parcel))
+        return parcel
+
+    def receive(self, parcel: Parcel) -> None:
+        self.stats.received += 1
+        self.stats.bytes_received += parcel.size_bytes
+        self.stats.latency_sum_ns += self.engine.now - parcel.sent_at
+        assert self._deliver is not None, "parcelport not connected"
+        self._deliver(parcel)

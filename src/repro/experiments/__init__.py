@@ -1,0 +1,27 @@
+"""Experiment harness: strong-scaling runner, tables and figures.
+
+One module per concern:
+
+- :mod:`repro.experiments.config` — the paper's platform (Table III)
+  and protocol constants;
+- :mod:`repro.experiments.runner` — one benchmark run
+  (:func:`run_benchmark`);
+- :mod:`repro.experiments.harness` — strong scaling with per-sample
+  counter evaluation and medians;
+- :mod:`repro.experiments.tables` — Table I and Table V generators;
+- :mod:`repro.experiments.figures` — series for Figures 1-14;
+- :mod:`repro.experiments.report` — plain-text rendering.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import ScalingCurve, ScalingPoint, run_strong_scaling
+from repro.experiments.runner import RunResult, run_benchmark
+
+__all__ = [
+    "ExperimentConfig",
+    "RunResult",
+    "ScalingCurve",
+    "ScalingPoint",
+    "run_benchmark",
+    "run_strong_scaling",
+]

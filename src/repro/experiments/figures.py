@@ -1,0 +1,202 @@
+"""Series generators for every figure of the paper.
+
+- Figures 1-7: execution time vs cores, HPX vs C++11 Standard
+  (Alignment, Pyramids, Strassen, Sort, FFT, UTS, Intersim).
+- Figures 8-12: overhead decomposition for HPX (execution time, ideal
+  scaling, task time per core, ideal task time, scheduling overhead per
+  core) for Alignment, Pyramids, Strassen, FFT, UTS.
+- Figures 13-14: OFFCORE bandwidth estimate vs cores for Alignment and
+  Pyramids — (ALL_DATA_RD + DEMAND_CODE_RD + DEMAND_RFO) x 64 B /
+  execution time, exactly the paper's formula.
+
+Each generator returns plain dataclasses of series so callers (benches,
+CLI, notebooks) can print or plot without re-running.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.experiments.config import PAPI_COUNTERS, ExperimentConfig
+from repro.experiments.harness import ScalingCurve, run_strong_scaling
+from repro.model.work import CACHE_LINE
+
+#: benchmark behind each execution-time figure
+EXEC_TIME_FIGURES: dict[str, str] = {
+    "fig1": "alignment",
+    "fig2": "pyramids",
+    "fig3": "strassen",
+    "fig4": "sort",
+    "fig5": "fft",
+    "fig6": "uts",
+    "fig7": "intersim",
+}
+
+#: benchmark behind each overhead figure
+OVERHEAD_FIGURES: dict[str, str] = {
+    "fig8": "alignment",
+    "fig9": "pyramids",
+    "fig10": "strassen",
+    "fig11": "fft",
+    "fig12": "uts",
+}
+
+#: benchmark behind each bandwidth figure
+BANDWIDTH_FIGURES: dict[str, str] = {
+    "fig13": "alignment",
+    "fig14": "pyramids",
+}
+
+_CUMULATIVE = "/threads{locality#0/total}/time/cumulative"
+_CUMULATIVE_OVERHEAD = "/threads{locality#0/total}/time/cumulative-overhead"
+
+
+@dataclass
+class ExecutionTimeFigure:
+    """One of Figures 1-7."""
+
+    figure: str
+    benchmark: str
+    hpx: ScalingCurve
+    std: ScalingCurve
+
+    def rows(self) -> list[tuple[int, float | None, float | None]]:
+        """(cores, hpx_ms, std_ms); None marks an aborted run."""
+        out = []
+        for ph, ps in zip(self.hpx.points, self.std.points):
+            assert ph.cores == ps.cores
+            out.append(
+                (
+                    ph.cores,
+                    None if ph.aborted else ph.median_exec_ms,
+                    None if ps.aborted else ps.median_exec_ms,
+                )
+            )
+        return out
+
+
+@dataclass
+class OverheadFigure:
+    """One of Figures 8-12 (HPX only, per the paper)."""
+
+    figure: str
+    benchmark: str
+    cores: list[int] = field(default_factory=list)
+    exec_time_ms: list[float] = field(default_factory=list)
+    ideal_scaling_ms: list[float] = field(default_factory=list)
+    task_time_per_core_ms: list[float] = field(default_factory=list)
+    ideal_task_time_ms: list[float] = field(default_factory=list)
+    sched_overhead_per_core_ms: list[float] = field(default_factory=list)
+
+    def rows(self) -> list[tuple[float, ...]]:
+        return list(
+            zip(
+                self.cores,
+                self.exec_time_ms,
+                self.ideal_scaling_ms,
+                self.task_time_per_core_ms,
+                self.ideal_task_time_ms,
+                self.sched_overhead_per_core_ms,
+            )
+        )
+
+
+@dataclass
+class BandwidthFigure:
+    """One of Figures 13-14."""
+
+    figure: str
+    benchmark: str
+    cores: list[int] = field(default_factory=list)
+    bandwidth_gbs: list[float] = field(default_factory=list)
+
+    def rows(self) -> list[tuple[int, float]]:
+        return list(zip(self.cores, self.bandwidth_gbs))
+
+
+def execution_time_figure(
+    figure: str,
+    *,
+    config: ExperimentConfig | None = None,
+    params: Mapping[str, Any] | None = None,
+    core_counts: Sequence[int] | None = None,
+    samples: int | None = None,
+) -> ExecutionTimeFigure:
+    """Regenerate one of Figures 1-7."""
+    benchmark = _lookup(EXEC_TIME_FIGURES, figure)
+    hpx = run_strong_scaling(
+        benchmark, "hpx", config=config, params=params, core_counts=core_counts, samples=samples
+    )
+    std = run_strong_scaling(
+        benchmark, "std", config=config, params=params, core_counts=core_counts, samples=samples
+    )
+    return ExecutionTimeFigure(figure=figure, benchmark=benchmark, hpx=hpx, std=std)
+
+
+def overhead_figure(
+    figure: str,
+    *,
+    config: ExperimentConfig | None = None,
+    params: Mapping[str, Any] | None = None,
+    core_counts: Sequence[int] | None = None,
+    samples: int | None = None,
+) -> OverheadFigure:
+    """Regenerate one of Figures 8-12 from the HPX counters."""
+    benchmark = _lookup(OVERHEAD_FIGURES, figure)
+    curve = run_strong_scaling(
+        benchmark, "hpx", config=config, params=params, core_counts=core_counts, samples=samples
+    )
+    out = OverheadFigure(figure=figure, benchmark=benchmark)
+    base = curve.points[0]
+    base_exec = base.median_exec_ns
+    base_task_time = base.counters[_CUMULATIVE]
+    for p in curve.points:
+        if p.aborted:
+            continue
+        out.cores.append(p.cores)
+        out.exec_time_ms.append(p.median_exec_ns / 1e6)
+        out.ideal_scaling_ms.append(base_exec / p.cores / 1e6)
+        out.task_time_per_core_ms.append(p.counters[_CUMULATIVE] / p.cores / 1e6)
+        out.ideal_task_time_ms.append(base_task_time / p.cores / 1e6)
+        out.sched_overhead_per_core_ms.append(
+            p.counters[_CUMULATIVE_OVERHEAD] / p.cores / 1e6
+        )
+    return out
+
+
+def bandwidth_figure(
+    figure: str,
+    *,
+    config: ExperimentConfig | None = None,
+    params: Mapping[str, Any] | None = None,
+    core_counts: Sequence[int] | None = None,
+    samples: int | None = None,
+) -> BandwidthFigure:
+    """Regenerate Figure 13 or 14: offcore bandwidth vs cores.
+
+    Bandwidth = (sum of the three offcore request counters) x 64-byte
+    cache lines / execution time (Section V-C).
+    """
+    benchmark = _lookup(BANDWIDTH_FIGURES, figure)
+    curve = run_strong_scaling(
+        benchmark, "hpx", config=config, params=params, core_counts=core_counts, samples=samples
+    )
+    out = BandwidthFigure(figure=figure, benchmark=benchmark)
+    for p in curve.points:
+        if p.aborted or p.median_exec_ns <= 0:
+            continue
+        requests = sum(p.counters[name] for name in PAPI_COUNTERS)
+        gbs = requests * CACHE_LINE / (p.median_exec_ns / 1e9) / 1e9
+        out.cores.append(p.cores)
+        out.bandwidth_gbs.append(gbs)
+    return out
+
+
+def _lookup(table: Mapping[str, str], figure: str) -> str:
+    try:
+        return table[figure.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {figure!r}; available: {', '.join(sorted(table))}"
+        ) from None

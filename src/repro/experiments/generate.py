@@ -1,0 +1,78 @@
+"""Regenerate every table and figure of the paper into text files.
+
+Run:  python -m repro.experiments.generate [outdir] [--samples N]
+
+Produces one ``<experiment>.txt`` per table/figure under *outdir*
+(default ``results/``) plus a combined ``all_results.txt``.  This is
+what EXPERIMENTS.md is built from.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import (
+    BANDWIDTH_FIGURES,
+    EXEC_TIME_FIGURES,
+    OVERHEAD_FIGURES,
+    bandwidth_figure,
+    execution_time_figure,
+    overhead_figure,
+)
+from repro.experiments.report import (
+    render_bandwidth_figure,
+    render_execution_time_figure,
+    render_overhead_figure,
+    render_table1,
+    render_table5,
+)
+from repro.experiments.tables import table1, table5
+
+FIGURE_CORES = (1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20)
+TABLE_CORES = (1, 2, 4, 8, 10, 16, 20)
+
+
+def generate_all(outdir: Path, samples: int = 1, verbose: bool = True) -> dict[str, str]:
+    """Regenerate everything; returns {experiment id: rendered text}."""
+    outdir.mkdir(parents=True, exist_ok=True)
+    fig_config = ExperimentConfig(samples=samples, core_counts=FIGURE_CORES)
+    table_config = ExperimentConfig(samples=samples, core_counts=TABLE_CORES)
+    results: dict[str, str] = {}
+
+    def emit(key: str, text: str) -> None:
+        results[key] = text
+        (outdir / f"{key}.txt").write_text(text + "\n")
+        if verbose:
+            print(f"[{time.strftime('%H:%M:%S')}] wrote {key}.txt", file=sys.stderr)
+
+    emit("table1", render_table1(table1(cores=20, config=table_config)))
+    emit("table5", render_table5(table5(config=table_config)))
+    for fig in sorted(EXEC_TIME_FIGURES):
+        emit(fig, render_execution_time_figure(execution_time_figure(fig, config=fig_config)))
+    for fig in sorted(OVERHEAD_FIGURES):
+        emit(fig, render_overhead_figure(overhead_figure(fig, config=fig_config)))
+    for fig in sorted(BANDWIDTH_FIGURES):
+        emit(fig, render_bandwidth_figure(bandwidth_figure(fig, config=fig_config)))
+
+    combined = "\n\n".join(
+        f"===== {key} =====\n{text}" for key, text in sorted(results.items())
+    )
+    (outdir / "all_results.txt").write_text(combined + "\n")
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("outdir", nargs="?", default="results", type=Path)
+    parser.add_argument("--samples", type=int, default=1)
+    args = parser.parse_args(argv)
+    generate_all(args.outdir, samples=args.samples)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,139 @@
+"""Strong-scaling harness.
+
+The paper's protocol: increase the core count while holding the
+workload fixed; 20 samples per configuration; medians of execution
+times and of every performance counter (counters are evaluated and
+reset around each sample with the ``hpx::evaluate_active_counters`` /
+``reset_active_counters`` API).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import RunResult, run_benchmark
+
+
+@dataclass
+class ScalingPoint:
+    """Aggregated samples for one core count."""
+
+    cores: int
+    aborted: bool
+    median_exec_ns: float = 0.0
+    exec_samples: tuple[int, ...] = ()
+    counters: dict[str, float] = field(default_factory=dict)  # medians
+    tasks_executed: int = 0
+    peak_live_tasks: int = 0
+    offcore_bytes: int = 0
+
+    @property
+    def median_exec_ms(self) -> float:
+        return self.median_exec_ns / 1e6
+
+
+@dataclass
+class ScalingCurve:
+    """One benchmark x runtime strong-scaling series."""
+
+    benchmark: str
+    runtime: str
+    points: list[ScalingPoint]
+
+    def point(self, cores: int) -> ScalingPoint:
+        for p in self.points:
+            if p.cores == cores:
+                return p
+        raise KeyError(f"no point for {cores} cores in {self.benchmark}/{self.runtime}")
+
+    @property
+    def baseline_ns(self) -> float | None:
+        """Median one-core time (None if the one-core run aborted)."""
+        p = self.points[0]
+        return None if p.aborted else p.median_exec_ns
+
+    def speedup(self, cores: int) -> float | None:
+        base = self.baseline_ns
+        p = self.point(cores)
+        if base is None or p.aborted or p.median_exec_ns <= 0:
+            return None
+        return base / p.median_exec_ns
+
+    def scales_to(self, tolerance: float = 0.03) -> str:
+        """Table V style scaling label: 'to N', 'no scaling' or 'fail'.
+
+        The largest core count whose time improves on every smaller
+        one by more than *tolerance*.
+        """
+        live = [p for p in self.points if not p.aborted]
+        if not live or len(live) < len(self.points):
+            return "fail"
+        best_cores = live[0].cores
+        best = live[0].median_exec_ns
+        for p in live[1:]:
+            if p.median_exec_ns < best * (1 - tolerance):
+                best = p.median_exec_ns
+                best_cores = p.cores
+        if best_cores == live[0].cores:
+            return "no scaling"
+        return f"to {best_cores}"
+
+
+def run_strong_scaling(
+    benchmark: str,
+    runtime: str,
+    *,
+    core_counts: Sequence[int] | None = None,
+    samples: int | None = None,
+    params: Mapping[str, Any] | None = None,
+    config: ExperimentConfig | None = None,
+    counter_specs: Sequence[str] | None = None,
+    collect_counters: bool = True,
+) -> ScalingCurve:
+    """The paper's strong-scaling experiment for one benchmark/runtime."""
+    config = config or ExperimentConfig()
+    core_counts = tuple(core_counts if core_counts is not None else config.core_counts)
+    samples = samples if samples is not None else config.samples
+
+    points: list[ScalingPoint] = []
+    for cores in core_counts:
+        runs: list[RunResult] = []
+        for sample in range(samples):
+            sample_params = dict(params or {})
+            # Vary the seed per sample: the paper's 20 samples see real
+            # run-to-run variation; medians absorb it.
+            sample_params["seed"] = config.seed + sample
+            runs.append(
+                run_benchmark(
+                    benchmark,
+                    runtime=runtime,
+                    cores=cores,
+                    params=sample_params,
+                    config=config,
+                    counter_specs=counter_specs,
+                    collect_counters=collect_counters,
+                )
+            )
+        aborted = any(r.aborted for r in runs)
+        point = ScalingPoint(cores=cores, aborted=aborted)
+        if not aborted:
+            times = [r.exec_time_ns for r in runs]
+            point.median_exec_ns = statistics.median(times)
+            point.exec_samples = tuple(times)
+            point.tasks_executed = runs[0].tasks_executed
+            point.peak_live_tasks = max(r.peak_live_tasks for r in runs)
+            point.offcore_bytes = round(
+                statistics.median([r.offcore_bytes for r in runs])
+            )
+            names = runs[0].counters.keys()
+            point.counters = {
+                name: statistics.median([r.counters[name] for r in runs])
+                for name in names
+            }
+        else:
+            point.peak_live_tasks = max(r.peak_live_tasks for r in runs)
+        points.append(point)
+    return ScalingCurve(benchmark=benchmark, runtime=runtime, points=points)

@@ -1,0 +1,111 @@
+"""Plain-text rendering of tables and figure series."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.experiments.figures import BandwidthFigure, ExecutionTimeFigure, OverheadFigure
+from repro.experiments.tables import Table1Row, Table5Row
+
+
+def render_table(header: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Simple fixed-width ASCII table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(header)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: Any) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def render_table1(rows: list[Table1Row]) -> str:
+    """Table I in the paper's layout."""
+    header = ["Benchmark", "Baseline ms", "Baseline tasks", "TAU", "HPCToolkit"]
+    body = [
+        [
+            r.benchmark,
+            "Abort" if r.baseline_ms is None else f"{r.baseline_ms:.1f}",
+            r.baseline_tasks,
+            r.cell(r.tau),
+            r.cell(r.hpctoolkit),
+        ]
+        for r in rows
+    ]
+    return render_table(header, body)
+
+
+def render_table5(rows: list[Table5Row]) -> str:
+    """Table V in the paper's layout, measured vs paper side by side."""
+    header = [
+        "Benchmark",
+        "Structure",
+        "Sync",
+        "Duration us",
+        "(paper)",
+        "Granularity",
+        "(paper)",
+        "std scaling",
+        "(paper)",
+        "HPX scaling",
+        "(paper)",
+    ]
+    body = [
+        [
+            r.benchmark,
+            r.structure,
+            r.synchronization,
+            f"{r.task_duration_us:.2f}",
+            f"{r.paper_task_duration_us:.2f}",
+            r.granularity,
+            r.paper_granularity,
+            r.scaling_std,
+            r.paper_scaling_std,
+            r.scaling_hpx,
+            r.paper_scaling_hpx,
+        ]
+        for r in rows
+    ]
+    return render_table(header, body)
+
+
+def render_execution_time_figure(fig: ExecutionTimeFigure) -> str:
+    header = ["cores", "HPX ms", "C++11 Standard ms"]
+    body = [
+        [cores, hpx, "fail" if std is None else std]
+        for cores, hpx, std in fig.rows()
+    ]
+    title = f"{fig.figure}: execution time of {fig.benchmark} (HPX vs C++11 Standard)"
+    return title + "\n" + render_table(header, body)
+
+
+def render_overhead_figure(fig: OverheadFigure) -> str:
+    header = [
+        "cores",
+        "exec_time ms",
+        "ideal_scaling ms",
+        "task_time/core ms",
+        "ideal_task_time ms",
+        "sched_overhd/core ms",
+    ]
+    title = f"{fig.figure}: {fig.benchmark} overheads (HPX counters)"
+    return title + "\n" + render_table(header, fig.rows())
+
+
+def render_bandwidth_figure(fig: BandwidthFigure) -> str:
+    header = ["cores", "OFFCORE bandwidth GB/s"]
+    title = f"{fig.figure}: {fig.benchmark} OFFCORE bandwidth"
+    return title + "\n" + render_table(header, fig.rows())

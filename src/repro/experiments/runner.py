@@ -1,0 +1,178 @@
+"""Single-run driver: one benchmark, one runtime, one core count.
+
+This is the reproduction of one cell of the paper's experiment matrix:
+build the simulated node, run the benchmark to completion under the
+chosen runtime, verify the computed result, and — for HPX — evaluate
+the performance counters for the sample exactly as the paper does with
+``hpx::evaluate_active_counters`` / ``reset_active_counters``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.counters.base import CounterEnvironment
+from repro.counters.manager import ActiveCounters
+from repro.counters.registry import build_default_registry
+from repro.experiments.config import DEFAULT_COUNTERS, ExperimentConfig
+from repro.inncabs.base import effective_locality_factor
+from repro.inncabs.suite import get_benchmark
+from repro.kernel.scheduler import ResourceExhausted, StdRuntime
+from repro.papi.hw import PapiSubstrate
+from repro.runtime.scheduler import HpxRuntime
+from repro.simcore.events import Engine
+from repro.simcore.machine import Machine
+
+
+@dataclass
+class RunResult:
+    """Outcome of one benchmark run."""
+
+    benchmark: str
+    runtime: str  # "hpx" | "std"
+    cores: int
+    aborted: bool = False
+    abort_reason: str | None = None
+    exec_time_ns: int = 0
+    verified: bool = False
+    result: Any = None
+    counters: dict[str, float] = field(default_factory=dict)
+    # Periodic in-band samples (lists of CounterValue) when a
+    # query_interval_ns was requested.
+    query_samples: list = field(default_factory=list)
+    tasks_executed: int = 0
+    tasks_created: int = 0
+    peak_live_tasks: int = 0
+    offcore_bytes: int = 0
+    engine_events: int = 0
+
+    @property
+    def exec_time_us(self) -> float:
+        return self.exec_time_ns / 1_000
+
+    @property
+    def exec_time_ms(self) -> float:
+        return self.exec_time_ns / 1_000_000
+
+    def counter(self, name: str) -> float:
+        """Counter value by exact name; raises KeyError listing names."""
+        try:
+            return self.counters[name]
+        except KeyError:
+            known = "\n  ".join(self.counters)
+            raise KeyError(f"no counter {name!r} in result; collected:\n  {known}") from None
+
+
+def run_benchmark(
+    benchmark: str,
+    *,
+    runtime: str = "hpx",
+    cores: int = 1,
+    params: Mapping[str, Any] | None = None,
+    config: ExperimentConfig | None = None,
+    counter_specs: Sequence[str] | None = None,
+    collect_counters: bool = True,
+    keep_result: bool = False,
+    query_interval_ns: int | None = None,
+    query_sink: Any = None,
+) -> RunResult:
+    """Run one benchmark sample; returns a :class:`RunResult`.
+
+    ``runtime`` selects the HPX-style task runtime (``"hpx"``) or the
+    ``std::async`` kernel-thread baseline (``"std"``).  Counters are an
+    HPX capability (the paper's point), so for ``"std"`` only wall time
+    and process statistics are reported.
+
+    ``collect_counters=False`` disables counter instrumentation
+    entirely — used by the counter-overhead experiment of Section V-C.
+
+    ``query_interval_ns`` attaches an in-band periodic query (the
+    ``--hpx:print-counter-interval`` convenience layer): the active
+    counters are sampled every interval *during* the run, each sample
+    delivered to ``query_sink`` (a callable taking a list of
+    CounterValue rows) and collected on ``RunResult.query_samples``.
+    """
+    config = config or ExperimentConfig()
+    bench = get_benchmark(benchmark)
+    merged = bench.params_with_defaults(params)
+    root_fn, root_args = bench.make_root(merged)
+
+    engine = Engine()
+    machine = Machine(config.machine)
+    out = RunResult(benchmark=benchmark, runtime=runtime, cores=cores)
+
+    if runtime == "hpx":
+        rt: Any = HpxRuntime(
+            engine,
+            machine,
+            num_workers=cores,
+            params=config.hpx,
+            locality_traffic_factor=effective_locality_factor(
+                bench.info.hpx_locality_factor, cores
+            ),
+        )
+        active: ActiveCounters | None = None
+        query = None
+        if collect_counters:
+            env = CounterEnvironment(
+                engine=engine, runtime=rt, machine=machine, papi=PapiSubstrate(machine)
+            )
+            registry = build_default_registry(env)
+            active = ActiveCounters(registry, counter_specs or DEFAULT_COUNTERS)
+            active.start()
+            active.reset_active_counters()
+            if query_interval_ns is not None:
+                from repro.counters.query import PeriodicQuery
+
+                query = PeriodicQuery(
+                    active,
+                    engine=engine,
+                    runtime=rt,
+                    interval_ns=query_interval_ns,
+                    sink=query_sink,
+                    in_band=True,
+                )
+                query.start()
+        elif query_interval_ns is not None:
+            raise ValueError("periodic queries need collect_counters=True")
+        future = rt.submit(root_fn, *root_args)
+        engine.run()
+        if not future.is_ready:
+            raise RuntimeError(rt.describe_stall())
+        result = future.value()
+        out.exec_time_ns = engine.now
+        out.tasks_executed = rt.stats.tasks_executed
+        out.tasks_created = rt.stats.tasks_created
+        out.peak_live_tasks = rt.stats.peak_live_tasks
+        if active is not None:
+            values = active.evaluate_active_counters(reset=True)
+            out.counters = {v.name: v.value for v in values}
+        if query is not None:
+            out.query_samples = query.samples
+    elif runtime == "std":
+        rt = StdRuntime(engine, machine, num_workers=cores, params=config.std)
+        future = rt.submit(root_fn, *root_args)
+        engine.run()
+        out.tasks_created = rt.stats.threads_created
+        out.tasks_executed = rt.stats.threads_completed
+        out.peak_live_tasks = rt.stats.peak_live_threads
+        if rt.aborted:
+            out.aborted = True
+            out.abort_reason = rt.abort_reason
+            out.exec_time_ns = engine.now
+            out.engine_events = engine.events_processed
+            return out
+        if not future.is_ready:
+            raise RuntimeError("std run finished without a result")
+        result = future.value()
+        out.exec_time_ns = engine.now
+    else:
+        raise ValueError(f"unknown runtime {runtime!r}; expected 'hpx' or 'std'")
+
+    out.verified = bench.verify(result, merged)
+    if keep_result:
+        out.result = result
+    out.offcore_bytes = machine.total_offcore_bytes()
+    out.engine_events = engine.events_processed
+    return out

@@ -1,0 +1,1 @@
+"""The fourteen Inncabs benchmarks on the runtime-agnostic task API."""

@@ -1,0 +1,61 @@
+"""Fib — naive recursive Fibonacci (Inncabs/BOTS classic).
+
+Recursive balanced, no synchronization beyond the child joins, very
+fine grained: Table V reports 1.37 µs average task duration and the
+``std::async`` version failing outright (each call tree node is a
+pthread; the live-thread count explodes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.inncabs.base import Benchmark, BenchmarkInfo
+
+
+def fib_reference(n: int) -> int:
+    """Iterative Fibonacci, used for verification."""
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, a + b
+    return a
+
+
+def _fib_task(ctx: Any, n: int, leaf_ns: int, combine_ns: int):
+    if n < 2:
+        yield ctx.compute(leaf_ns)
+        return n
+    fa = yield ctx.async_(_fib_task, n - 1, leaf_ns, combine_ns)
+    fb = yield ctx.async_(_fib_task, n - 2, leaf_ns, combine_ns)
+    a = yield ctx.wait(fa)
+    b = yield ctx.wait(fb)
+    yield ctx.compute(combine_ns, membytes=192)
+    return a + b
+
+
+class FibBenchmark(Benchmark):
+    info = BenchmarkInfo(
+        name="fib",
+        structure="recursive-balanced",
+        synchronization="none",
+        paper_task_duration_us=1.37,
+        paper_granularity="very fine",
+        paper_scaling_std="fail",
+        paper_scaling_hpx="to 10",
+        description="Naive recursive Fibonacci",
+    )
+
+    # fib(21) creates 2*F(22)-1 = 35,421 tasks in the paper's shape;
+    # n=19 keeps runs fast (13,529 tasks) at identical grain size.
+    default_params = {"n": 19, "leaf_ns": 900, "combine_ns": 1250}
+
+    def make_root(self, params: Mapping[str, Any]) -> tuple[Callable[..., Any], tuple]:
+        return _fib_task, (params["n"], params["leaf_ns"], params["combine_ns"])
+
+    def verify(self, result: Any, params: Mapping[str, Any]) -> bool:
+        return result == fib_reference(params["n"])
+
+    @staticmethod
+    def task_count(n: int) -> int:
+        """Number of tasks the call tree creates: 2*F(n+1) - 1."""
+        return 2 * fib_reference(n + 1) - 1

@@ -1,0 +1,97 @@
+"""NQueens — count all placements of N queens.
+
+Recursive unbalanced, fine grain (Table V: 28.1 µs average).  Spawns a
+task per valid placement down to a depth cutoff; below it each task
+counts its subtree sequentially with the classic bitmask search, and
+its cost is proportional to the *real* number of nodes it visited.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.inncabs.base import Benchmark, BenchmarkInfo
+from repro.model.work import Work
+
+KNOWN_SOLUTIONS = {4: 2, 5: 10, 6: 4, 7: 40, 8: 92, 9: 352, 10: 724, 11: 2680, 12: 14200}
+
+NODE_NS = 160.0  # sequential search cost per visited node
+SPAWN_NODE_NS = 900  # work done in a spawning (upper-level) task
+
+
+def _count_sequential(n: int, cols: int, diag1: int, diag2: int) -> tuple[int, int]:
+    """(solutions, nodes visited) below this position — bitmask search."""
+    if cols == (1 << n) - 1:
+        return 1, 1
+    solutions = 0
+    nodes = 1
+    free = ~(cols | diag1 | diag2) & ((1 << n) - 1)
+    while free:
+        bit = free & -free
+        free ^= bit
+        s, k = _count_sequential(
+            n, cols | bit, ((diag1 | bit) << 1) & ((1 << n) - 1), (diag2 | bit) >> 1
+        )
+        solutions += s
+        nodes += k
+    return solutions, nodes
+
+
+def _nqueens_task(ctx: Any, n: int, depth: int, cols: int, diag1: int, diag2: int, cutoff: int):
+    if depth >= cutoff:
+        solutions, nodes = _count_sequential(n, cols, diag1, diag2)
+        yield ctx.compute(Work(cpu_ns=round(nodes * NODE_NS), membytes=0))
+        return solutions
+    yield ctx.compute(SPAWN_NODE_NS)
+    mask = (1 << n) - 1
+    free = ~(cols | diag1 | diag2) & mask
+    futures = []
+    while free:
+        bit = free & -free
+        free ^= bit
+        fut = yield ctx.async_(
+            _nqueens_task,
+            n,
+            depth + 1,
+            cols | bit,
+            ((diag1 | bit) << 1) & mask,
+            (diag2 | bit) >> 1,
+            cutoff,
+        )
+        futures.append(fut)
+    if not futures:
+        return 1 if cols == mask else 0
+    counts = yield ctx.wait_all(futures)
+    return sum(counts)
+
+
+def _nqueens_root(ctx: Any, n: int, cutoff: int):
+    fut = yield ctx.async_(_nqueens_task, n, 0, 0, 0, 0, cutoff)
+    return (yield ctx.wait(fut))
+
+
+class NQueensBenchmark(Benchmark):
+    info = BenchmarkInfo(
+        name="nqueens",
+        structure="recursive-unbalanced",
+        synchronization="none",
+        paper_task_duration_us=28.1,
+        paper_granularity="fine",
+        paper_scaling_std="fail",
+        paper_scaling_hpx="to 20",
+        description="Count all N-queens placements",
+    )
+
+    # n=12, spawn to depth 4: ~5,500 tasks, sequential subtrees below;
+    # the spawned frontier exceeds the scaled thread budget under
+    # std::async (paper: nqueens fails).
+    default_params = {"n": 12, "cutoff": 4}
+
+    def make_root(self, params: Mapping[str, Any]) -> tuple[Callable[..., Any], tuple]:
+        return _nqueens_root, (params["n"], params["cutoff"])
+
+    def verify(self, result: Any, params: Mapping[str, Any]) -> bool:
+        expected = KNOWN_SOLUTIONS.get(params["n"])
+        if expected is None:
+            return isinstance(result, int) and result >= 0
+        return result == expected

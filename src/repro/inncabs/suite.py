@@ -1,0 +1,57 @@
+"""Registry of the fourteen Inncabs benchmarks."""
+
+from __future__ import annotations
+
+from repro.inncabs.alignment import AlignmentBenchmark
+from repro.inncabs.base import Benchmark
+from repro.inncabs.fft import FftBenchmark
+from repro.inncabs.fib import FibBenchmark
+from repro.inncabs.floorplan import FloorplanBenchmark
+from repro.inncabs.health import HealthBenchmark
+from repro.inncabs.intersim import IntersimBenchmark
+from repro.inncabs.nqueens import NQueensBenchmark
+from repro.inncabs.pyramids import PyramidsBenchmark
+from repro.inncabs.qap import QapBenchmark
+from repro.inncabs.round import RoundBenchmark
+from repro.inncabs.sort import SortBenchmark
+from repro.inncabs.sparselu import SparseLuBenchmark
+from repro.inncabs.strassen import StrassenBenchmark
+from repro.inncabs.uts import UtsBenchmark
+
+_BENCHMARKS: dict[str, Benchmark] = {
+    bench.info.name: bench
+    for bench in (
+        AlignmentBenchmark(),
+        FftBenchmark(),
+        FibBenchmark(),
+        FloorplanBenchmark(),
+        HealthBenchmark(),
+        IntersimBenchmark(),
+        NQueensBenchmark(),
+        PyramidsBenchmark(),
+        QapBenchmark(),
+        RoundBenchmark(),
+        SortBenchmark(),
+        SparseLuBenchmark(),
+        StrassenBenchmark(),
+        UtsBenchmark(),
+    )
+}
+
+
+def available_benchmarks() -> list[str]:
+    """Names of all fourteen benchmarks (alphabetical)."""
+    return sorted(_BENCHMARKS)
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Look a benchmark up by name.
+
+    Raises ``KeyError`` listing valid names on miss.
+    """
+    try:
+        return _BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {', '.join(available_benchmarks())}"
+        ) from None

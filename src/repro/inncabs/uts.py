@@ -1,0 +1,91 @@
+"""UTS — Unbalanced Tree Search.
+
+Recursive unbalanced, very fine grain (Table V: 1.37 µs average).  A
+geometric random tree: the root has ``b0`` children; every other node
+has ``m`` children with probability ``q`` (expected size
+``b0 / (1 - q*m)`` for ``q*m < 1``).  Child counts derive
+deterministically from the seed and the node's path id, so the tree —
+and therefore the verified node count — is identical on every runtime
+and core count.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.inncabs.base import Benchmark, BenchmarkInfo
+from repro.simcore.rng import derive_seed
+
+NODE_NS = 1_050  # per-node processing cost
+
+_U64 = float(2**64)
+
+
+def _num_children(seed: int, node_id: int, m: int, q: float, depth: int, max_depth: int) -> int:
+    if depth >= max_depth:
+        return 0
+    draw = derive_seed(seed, "uts", node_id) / _U64
+    return m if draw < q else 0
+
+
+def _uts_task(
+    ctx: Any, seed: int, node_id: int, depth: int, b0: int, m: int, q: float, max_depth: int
+):
+    yield ctx.compute(NODE_NS, membytes=128)
+    if depth == 0:
+        n_children = b0
+    else:
+        n_children = _num_children(seed, node_id, m, q, depth, max_depth)
+    if n_children == 0:
+        return 1
+    futures = []
+    for i in range(n_children):
+        child_id = node_id * 61 + i + 1  # deterministic path id
+        fut = yield ctx.async_(_uts_task, seed, child_id, depth + 1, b0, m, q, max_depth)
+        futures.append(fut)
+    counts = yield ctx.wait_all(futures)
+    return 1 + sum(counts)
+
+
+def uts_reference_count(seed: int, b0: int, m: int, q: float, max_depth: int) -> int:
+    """Sequential tree size with the identical child-count derivation."""
+    total = 0
+    stack = [(0, 0)]  # (node_id, depth)
+    while stack:
+        node_id, depth = stack.pop()
+        total += 1
+        n_children = b0 if depth == 0 else _num_children(seed, node_id, m, q, depth, max_depth)
+        for i in range(n_children):
+            stack.append((node_id * 61 + i + 1, depth + 1))
+    return total
+
+
+class UtsBenchmark(Benchmark):
+    info = BenchmarkInfo(
+        name="uts",
+        structure="recursive-unbalanced",
+        synchronization="none",
+        paper_task_duration_us=1.37,
+        paper_granularity="very fine",
+        paper_scaling_std="fail",
+        paper_scaling_hpx="to 10",
+        description="Unbalanced tree search (geometric tree)",
+    )
+
+    default_params = {"b0": 40, "m": 4, "q": 0.31, "max_depth": 22}
+
+    def make_root(self, params: Mapping[str, Any]) -> tuple[Callable[..., Any], tuple]:
+        return _uts_task, (
+            params["seed"],
+            0,
+            0,
+            params["b0"],
+            params["m"],
+            params["q"],
+            params["max_depth"],
+        )
+
+    def verify(self, result: Any, params: Mapping[str, Any]) -> bool:
+        return result == uts_reference_count(
+            params["seed"], params["b0"], params["m"], params["q"], params["max_depth"]
+        )

@@ -1,0 +1,550 @@
+"""Kernel scheduler for the thread-per-task (``std::async``) model.
+
+A single global FIFO run queue feeds the bound cores.  Every dispatch
+pays a context switch plus run-queue lock contention that grows with
+the number of cores hammering the queue; every ``std::async`` pays a
+thread creation inside the parent; every not-ready ``get()`` pays a
+futex block/wake pair.  Committed memory is tracked per live thread and
+the process aborts when the budget is exhausted — the paper's observed
+failure mode for Fib, Health, NQueens and UTS.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.model.context import TaskContext
+from repro.model.effects import Await, AwaitAll, Compute, Lock, Spawn, Unlock, YieldNow
+from repro.model.future import SimFuture, ThrowValue, resume_payload, resume_payload_all
+from repro.model.work import Work
+from repro.kernel.config import StdParams
+from repro.kernel.thread import OSThread, ThreadState
+from repro.runtime.policies import LaunchPolicy
+from repro.simcore.events import Engine
+from repro.simcore.machine import Machine
+from repro.simcore.topology import BindMode, Topology
+
+
+class ResourceExhausted(RuntimeError):
+    """The process ran out of memory for thread stacks (paper: 'Abort')."""
+
+
+@dataclass
+class StdStats:
+    """Process-wide accounting for the kernel model."""
+
+    threads_created: int = 0
+    threads_completed: int = 0
+    live_threads: int = 0
+    peak_live_threads: int = 0
+    committed_bytes: int = 0
+    exec_ns: int = 0
+    overhead_ns: int = 0
+    dispatches: int = 0
+    preemptions: int = 0
+    blocks: int = 0
+    wakes: int = 0
+
+
+class KMutex:
+    """``std::mutex``: futex-based, FIFO hand-off under contention."""
+
+    __slots__ = ("mid", "owner", "waiters", "acquisitions", "contentions")
+
+    def __init__(self, mid: int) -> None:
+        self.mid = mid
+        self.owner: OSThread | None = None
+        self.waiters: deque[OSThread] = deque()
+        self.acquisitions = 0
+        self.contentions = 0
+
+    def try_acquire(self, thread: OSThread) -> bool:
+        if self.owner is None:
+            self.owner = thread
+            self.acquisitions += 1
+            return True
+        return False
+
+    def enqueue_waiter(self, thread: OSThread) -> None:
+        self.contentions += 1
+        self.waiters.append(thread)
+
+    def release(self, thread: OSThread) -> OSThread | None:
+        if self.owner is not thread:
+            raise RuntimeError(
+                f"thread {thread.tid} releasing mutex {self.mid} it does not own"
+            )
+        if self.waiters:
+            nxt = self.waiters.popleft()
+            self.owner = nxt
+            self.acquisitions += 1
+            return nxt
+        self.owner = None
+        return None
+
+
+class _KCore:
+    __slots__ = ("index", "core_index", "socket", "current")
+
+    def __init__(self, index: int, core_index: int, socket: int) -> None:
+        self.index = index
+        self.core_index = core_index
+        self.socket = socket
+        self.current: OSThread | None = None
+
+
+class StdRuntime:
+    """Facade mirroring :class:`repro.runtime.scheduler.HpxRuntime`."""
+
+    name = "std"
+
+    def __init__(
+        self,
+        engine: Engine,
+        machine: Machine,
+        *,
+        num_workers: int,
+        params: StdParams | None = None,
+        bind_mode: BindMode = BindMode.COMPACT,
+    ) -> None:
+        self.engine = engine
+        self.machine = machine
+        self.params = params or StdParams()
+        self.topology = Topology(machine.spec)
+        cores = self.topology.binding(num_workers, bind_mode)
+        self.cores = [
+            _KCore(i, core, machine.spec.socket_of(core)) for i, core in enumerate(cores)
+        ]
+        self.run_queue: deque[OSThread] = deque()
+        self.stats = StdStats()
+        self._next_tid = 0
+        self._next_mid = 0
+        self.aborted = False
+        self.abort_reason: str | None = None
+        self._fulfil_core: _KCore | None = None
+        self._root_future: SimFuture | None = None
+        # Simulated global scheduler lock: the time until which it is held.
+        self._lock_free_at = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.cores)
+
+    def create_mutex(self) -> KMutex:
+        m = KMutex(self._next_mid)
+        self._next_mid += 1
+        return m
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> SimFuture:
+        """Start the main thread running *fn*."""
+        main = self._make_thread(fn, args, home_socket=self.cores[0].socket, is_main=True)
+        self._root_future = main.future
+        self.run_queue.append(main)
+        self._dispatch()
+        return main.future
+
+    def run_to_completion(self, fn: Callable[..., Any], *args: Any) -> Any:
+        future = self.submit(fn, *args)
+        self.engine.run()
+        if self.aborted:
+            raise ResourceExhausted(self.abort_reason or "out of memory")
+        if not future.is_ready:
+            raise RuntimeError("kernel model deadlocked: main thread never finished")
+        return future.value()
+
+    # ------------------------------------------------------------------
+    # thread management
+    # ------------------------------------------------------------------
+
+    def _make_thread(
+        self,
+        fn: Callable[..., Any],
+        args: tuple,
+        *,
+        home_socket: int,
+        deferred: bool = False,
+        is_main: bool = False,
+    ) -> OSThread:
+        thread = OSThread(
+            self._next_tid,
+            fn,
+            args,
+            home_socket=home_socket,
+            created_at=self.engine.now,
+            deferred=deferred,
+            is_main=is_main,
+        )
+        self._next_tid += 1
+        self.stats.threads_created += 1
+        if not deferred:
+            self._commit_memory(thread)
+        return thread
+
+    def _commit_memory(self, thread: OSThread) -> None:
+        thread.committed = True
+        self.stats.live_threads += 1
+        self.stats.peak_live_threads = max(
+            self.stats.peak_live_threads, self.stats.live_threads
+        )
+        self.stats.committed_bytes += self.params.thread_commit_bytes
+        if self.stats.committed_bytes > self.params.ram_budget_bytes:
+            self._abort(
+                f"thread stacks exhausted memory: {self.stats.live_threads} live "
+                f"threads x {self.params.thread_commit_bytes} B > "
+                f"{self.params.ram_budget_bytes} B budget"
+            )
+
+    def _abort(self, reason: str) -> None:
+        self.aborted = True
+        self.abort_reason = reason
+        if self._root_future is not None and not self._root_future.is_ready:
+            self._root_future.set_exception(ResourceExhausted(reason))
+        self.engine.stop(reason)
+
+    # ------------------------------------------------------------------
+    # dispatch loop
+    # ------------------------------------------------------------------
+
+    def _lock_delay(self, hold_ns: int) -> int:
+        """Serialize on the global scheduler lock for *hold_ns*.
+
+        Returns the total delay (queueing + hold) the caller must wait.
+        Contention is emergent: concurrent lock users queue behind each
+        other on the shared time line.
+        """
+        start = max(self.engine.now, self._lock_free_at)
+        self._lock_free_at = start + hold_ns
+        return self._lock_free_at - self.engine.now
+
+    def _dispatch(self) -> None:
+        """Assign runnable threads to free cores (lowest index first)."""
+        if self.aborted:
+            return
+        for core in self.cores:
+            if not self.run_queue:
+                return
+            if core.current is not None:
+                continue
+            thread = self.run_queue.popleft()
+            core.current = thread
+            thread.state = ThreadState.RUNNING
+            thread.slices += 1
+            self.stats.dispatches += 1
+            cost = self.params.context_switch_ns + self._lock_delay(
+                self.params.runqueue_hold_ns
+            )
+            thread.overhead_ns += cost
+            self.stats.overhead_ns += cost
+            self.engine.schedule(cost, lambda c=core, t=thread: self._run(c, t))
+
+    def _free_core(self, core: _KCore) -> None:
+        core.current = None
+        self._dispatch()
+
+    def _run(self, core: _KCore, thread: OSThread) -> None:
+        if self.aborted:
+            return
+        if thread.preempted_work is not None:
+            work, thread.preempted_work = thread.preempted_work, None
+            self._do_compute(core, thread, work)
+            return
+        self._step(core, thread, thread.pending_send)
+
+    # ------------------------------------------------------------------
+    # effect interpreter
+    # ------------------------------------------------------------------
+
+    def _step(self, core: _KCore, thread: OSThread, send_value: Any) -> None:
+        if self.aborted:
+            return
+        gen = thread.bind(TaskContext(self, thread))
+        thread.pending_send = None
+        try:
+            if isinstance(send_value, ThrowValue):
+                effect = gen.throw(send_value.exc)
+            else:
+                effect = gen.send(send_value)
+        except StopIteration as stop:
+            self._complete(core, thread, stop.value)
+            return
+        except Exception as exc:
+            self._fail(core, thread, exc)
+            return
+        self._dispatch_effect(core, thread, effect)
+
+    def _dispatch_effect(self, core: _KCore, thread: OSThread, effect: Any) -> None:
+        if isinstance(effect, Compute):
+            self._do_compute(core, thread, effect.work)
+        elif isinstance(effect, Spawn):
+            self._do_spawn(core, thread, effect)
+        elif isinstance(effect, Await):
+            self._do_await(core, thread, effect.future)
+        elif isinstance(effect, AwaitAll):
+            self._do_await_all(core, thread, effect.futures)
+        elif isinstance(effect, Lock):
+            self._do_lock(core, thread, effect.mutex)
+        elif isinstance(effect, Unlock):
+            self._do_unlock(core, thread, effect.mutex)
+        elif isinstance(effect, YieldNow):
+            self._do_yield(core, thread)
+        else:
+            self._fail(core, thread, TypeError(f"thread yielded non-effect {effect!r}"))
+
+    # -- compute with preemption ------------------------------------------
+
+    def _do_compute(self, core: _KCore, thread: OSThread, work: Work) -> None:
+        quantum = self.params.time_slice_ns
+        preempt = work.cpu_ns > quantum and bool(self.run_queue)
+        if preempt:
+            frac = quantum / work.cpu_ns
+            part = Work(
+                cpu_ns=quantum,
+                membytes=round(work.membytes * frac),
+                working_set=work.working_set,
+                data_rd_fraction=work.data_rd_fraction,
+                code_rd_fraction=work.code_rd_fraction,
+                rfo_fraction=work.rfo_fraction,
+            )
+            rest = Work(
+                cpu_ns=work.cpu_ns - quantum,
+                membytes=work.membytes - part.membytes,
+                working_set=work.working_set,
+                data_rd_fraction=work.data_rd_fraction,
+                code_rd_fraction=work.code_rd_fraction,
+                rfo_fraction=work.rfo_fraction,
+            )
+        else:
+            part, rest = work, None
+
+        cross = (
+            self.params.cross_socket_data_fraction
+            if thread.home_socket != core.socket and part.membytes > 0
+            else 0.0
+        )
+        ticket = self.machine.segment_begin(
+            core.core_index, part, cross_socket_fraction=cross
+        )
+        duration = ticket.duration_ns
+        thread.exec_ns += duration
+        self.stats.exec_ns += duration
+
+        def finish() -> None:
+            self.machine.segment_end(ticket, part)
+            if rest is not None:
+                self.stats.preemptions += 1
+                thread.preempted_work = rest
+                thread.state = ThreadState.RUNNABLE
+                self.run_queue.append(thread)
+                self._free_core(core)
+            else:
+                self._step(core, thread, None)
+
+        self.engine.schedule(duration, finish)
+
+    # -- spawn ---------------------------------------------------------------
+
+    def _do_spawn(self, core: _KCore, thread: OSThread, effect: Spawn) -> None:
+        policy = LaunchPolicy.parse(effect.policy)
+        if policy in (LaunchPolicy.ASYNC, LaunchPolicy.FORK):
+            # fork does not exist in std; Inncabs maps it to async.
+            cost = self.params.thread_create_ns + self._lock_delay(
+                self.params.create_hold_ns
+            )
+            child = self._make_thread(effect.fn, effect.args, home_socket=core.socket)
+            if self.aborted:
+                return
+            thread.exec_ns += cost
+            self.stats.exec_ns += cost
+            self.run_queue.append(child)
+
+            def created() -> None:
+                self._dispatch()
+                self._step(core, thread, child.future)
+
+            self.engine.schedule(cost, created)
+            return
+        if policy is LaunchPolicy.DEFERRED:
+            child = self._make_thread(
+                effect.fn, effect.args, home_socket=core.socket, deferred=True
+            )
+            cost = self.params.future_get_ready_ns
+            thread.exec_ns += cost
+            self.stats.exec_ns += cost
+            self.engine.schedule(cost, lambda: self._step(core, thread, child.future))
+            return
+        # SYNC: run inline on this thread, borrowing the core.
+        child = self._make_thread(
+            effect.fn, effect.args, home_socket=core.socket, deferred=True
+        )
+        self._run_inline(core, thread, child, send_future=True)
+
+    def _run_inline(
+        self, core: _KCore, thread: OSThread, child: OSThread, *, send_future: bool
+    ) -> None:
+        """Execute a deferred child synchronously on the calling thread."""
+        thread.state = ThreadState.BLOCKED
+
+        def done(fut: SimFuture) -> None:
+            thread.state = ThreadState.RUNNING
+            core.current = thread
+            value = fut if send_future else resume_payload(fut)
+            self._step(core, thread, value)
+
+        child.future.on_ready(done)
+        child.state = ThreadState.RUNNING
+        core.current = child
+        self._step(core, child, None)
+
+    # -- waiting ---------------------------------------------------------------
+
+    def _do_await(self, core: _KCore, thread: OSThread, future: SimFuture) -> None:
+        if future.is_ready:
+            cost = self.params.future_get_ready_ns
+            thread.exec_ns += cost
+            self.stats.exec_ns += cost
+            payload = resume_payload(future)
+            self.engine.schedule(cost, lambda: self._step(core, thread, payload))
+            return
+        producer = future.producer_task
+        if isinstance(producer, OSThread) and producer.state is ThreadState.DEFERRED:
+            self._run_inline(core, thread, producer, send_future=False)
+            return
+        cost = self.params.block_ns
+        thread.overhead_ns += cost
+        self.stats.overhead_ns += cost
+        self.stats.blocks += 1
+        thread.state = ThreadState.BLOCKED
+        future.on_ready(lambda fut: self._wake(thread, resume_payload(fut)))
+        self.engine.schedule(cost, lambda: self._free_core(core))
+
+    def _do_await_all(self, core: _KCore, thread: OSThread, futures: tuple) -> None:
+        for fut in futures:
+            producer = fut.producer_task
+            if isinstance(producer, OSThread) and producer.state is ThreadState.DEFERRED:
+                # Run the deferred child now, then re-issue the wait.
+                def resume_wait(_f: SimFuture, t=thread, fs=futures) -> None:
+                    c = self._core_of(t)
+                    t.state = ThreadState.RUNNING
+                    c.current = t
+                    self._do_await_all(c, t, fs)
+
+                thread.state = ThreadState.BLOCKED
+                producer.future.on_ready(resume_wait)
+                producer.state = ThreadState.RUNNING
+                core.current = producer
+                self._step(core, producer, None)
+                return
+        pending = [f for f in futures if not f.is_ready]
+        if not pending:
+            cost = self.params.future_get_ready_ns
+            thread.exec_ns += cost
+            self.stats.exec_ns += cost
+            payload = resume_payload_all(futures)
+            self.engine.schedule(cost, lambda: self._step(core, thread, payload))
+            return
+        cost = self.params.block_ns
+        thread.overhead_ns += cost
+        self.stats.overhead_ns += cost
+        self.stats.blocks += 1
+        thread.state = ThreadState.BLOCKED
+        remaining = {"count": len(pending)}
+
+        def one_ready(_fut: SimFuture) -> None:
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                self._wake(thread, resume_payload_all(futures))
+
+        for fut in pending:
+            fut.on_ready(one_ready)
+        self.engine.schedule(cost, lambda: self._free_core(core))
+
+    def _core_of(self, thread: OSThread) -> _KCore:
+        for core in self.cores:
+            if core.current is thread:
+                return core
+        # Thread resumed via the run queue; report the fulfilling core.
+        return self._fulfil_core or self.cores[0]
+
+    def _wake(self, thread: OSThread, send_value: Any) -> None:
+        """Future set / mutex granted: move *thread* to the run queue."""
+        if self.aborted:
+            return
+        self.stats.wakes += 1
+        cost = self.params.wake_ns + self._lock_delay(self.params.runqueue_hold_ns)
+        self.stats.overhead_ns += cost
+        thread.overhead_ns += cost
+        thread.pending_send = send_value
+        thread.state = ThreadState.RUNNABLE
+        self.run_queue.append(thread)
+        self.engine.schedule(cost, self._dispatch)
+
+    # -- mutexes -----------------------------------------------------------------
+
+    def _do_lock(self, core: _KCore, thread: OSThread, mutex: KMutex) -> None:
+        if mutex.try_acquire(thread):
+            cost = self.params.mutex_ns
+            thread.exec_ns += cost
+            self.stats.exec_ns += cost
+            self.engine.schedule(cost, lambda: self._step(core, thread, None))
+            return
+        cost = self.params.block_ns
+        thread.overhead_ns += cost
+        self.stats.overhead_ns += cost
+        self.stats.blocks += 1
+        thread.state = ThreadState.BLOCKED
+        mutex.enqueue_waiter(thread)
+        self.engine.schedule(cost, lambda: self._free_core(core))
+
+    def _do_unlock(self, core: _KCore, thread: OSThread, mutex: KMutex) -> None:
+        nxt = mutex.release(thread)
+        cost = self.params.mutex_ns
+        thread.exec_ns += cost
+        self.stats.exec_ns += cost
+        if nxt is not None:
+            self._wake(nxt, None)
+        self.engine.schedule(cost, lambda: self._step(core, thread, None))
+
+    def _do_yield(self, core: _KCore, thread: OSThread) -> None:
+        cost = self.params.context_switch_ns
+        thread.overhead_ns += cost
+        self.stats.overhead_ns += cost
+        thread.state = ThreadState.RUNNABLE
+        thread.pending_send = None
+        self.run_queue.append(thread)
+        self.engine.schedule(cost, lambda: self._free_core(core))
+
+    # -- completion -----------------------------------------------------------------
+
+    def _complete(self, core: _KCore, thread: OSThread, value: Any) -> None:
+        self._retire(core, thread, lambda: thread.future.set_value(value))
+
+    def _fail(self, core: _KCore, thread: OSThread, exc: BaseException) -> None:
+        self._retire(core, thread, lambda: thread.future.set_exception(exc))
+
+    def _retire(self, core: _KCore, thread: OSThread, fulfil: Callable[[], None]) -> None:
+        thread.state = ThreadState.TERMINATED
+        self.stats.threads_completed += 1
+        # Deferred/sync children never committed memory; real threads did.
+        if thread.committed:
+            self.stats.live_threads -= 1
+            self.stats.committed_bytes -= self.params.thread_commit_bytes
+        cost = self.params.thread_destroy_ns if thread.committed else 0
+        thread.overhead_ns += cost
+        self.stats.overhead_ns += cost
+        prev = self._fulfil_core
+        self._fulfil_core = core
+        try:
+            fulfil()
+        finally:
+            self._fulfil_core = prev
+        # An inline-resume callback may have reoccupied the core (a
+        # deferred child waking its waiter); only free it if this thread
+        # still holds it.
+        if core.current is thread:
+            self.engine.schedule(cost, lambda: self._free_core(core))

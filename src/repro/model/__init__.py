@@ -1,0 +1,35 @@
+"""The runtime-agnostic programming model.
+
+Benchmark task bodies are generator coroutines that yield *effects*
+(spawn, await, compute, lock, unlock, yield) to whatever runtime is
+executing them — the HPX-style runtime in :mod:`repro.runtime` or the
+``std::async`` kernel-thread model in :mod:`repro.kernel`.  This mirrors
+Table II of the paper: the same benchmark source runs on both runtimes,
+only the namespace (the executing context) changes.
+"""
+
+from repro.model.context import TaskContext
+from repro.model.effects import (
+    Await,
+    AwaitAll,
+    Compute,
+    Effect,
+    Lock,
+    Spawn,
+    Unlock,
+    YieldNow,
+)
+from repro.model.work import Work
+
+__all__ = [
+    "Await",
+    "AwaitAll",
+    "Compute",
+    "Effect",
+    "Lock",
+    "Spawn",
+    "TaskContext",
+    "Unlock",
+    "Work",
+    "YieldNow",
+]

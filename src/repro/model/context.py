@@ -1,0 +1,90 @@
+"""Task context: the API surface a benchmark task body programs against.
+
+This is the reproduction of Table II in the paper — the benchmarks call
+``ctx.async_`` / ``ctx.wait`` / ``ctx.new_mutex`` and the *same source*
+runs on the HPX-style runtime (``hpx::async``/``hpx::future``/
+``hpx::lcos::local::mutex``) and the Standard C++ model (``std::async``/
+``std::future``/``std::mutex``): only the executing context differs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.model.effects import Await, AwaitAll, Compute, Lock, Spawn, Unlock, YieldNow
+from repro.model.work import Work
+
+
+class TaskContext:
+    """Bound to one task at execution time by the owning runtime.
+
+    The effect-constructing methods are pure; only :meth:`new_mutex`
+    talks to the runtime directly (mutex creation is instantaneous and
+    requires no scheduling decision).
+    """
+
+    __slots__ = ("_runtime", "task")
+
+    def __init__(self, runtime: Any, task: Any) -> None:
+        self._runtime = runtime
+        self.task = task
+
+    # -- identification -------------------------------------------------
+
+    @property
+    def runtime_name(self) -> str:
+        """``"hpx"`` or ``"std"`` — occasionally useful in examples."""
+        return self._runtime.name
+
+    @property
+    def num_workers(self) -> int:
+        """Number of cores/workers the runtime is executing on."""
+        return self._runtime.num_workers
+
+    # -- effect constructors ---------------------------------------------
+
+    def async_(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        policy: str = "async",
+        stack_bytes: int = 0,
+    ) -> Spawn:
+        """``hpx::async(f, ...)`` / ``std::async(std::launch::async, f, ...)``."""
+        return Spawn(fn=fn, args=args, policy=policy, stack_bytes=stack_bytes)
+
+    def wait(self, future: Any) -> Await:
+        """``future.get()`` — suspend until ready, resume with the value."""
+        return Await(future=future)
+
+    def wait_all(self, futures: Sequence[Any]) -> AwaitAll:
+        """Join a vector of futures (``hpx::when_all(...).get()``)."""
+        return AwaitAll(futures=tuple(futures))
+
+    def compute(self, work: Work | int, membytes: int = 0, **kwargs: Any) -> Compute:
+        """Consume machine resources.
+
+        Accepts either a pre-built :class:`Work` or a raw ``cpu_ns``
+        (plus optional ``membytes`` and further :class:`Work` kwargs).
+        """
+        if not isinstance(work, Work):
+            work = Work(cpu_ns=int(work), membytes=membytes, **kwargs)
+        return Compute(work=work)
+
+    def lock(self, mutex: Any) -> Lock:
+        """``mutex.lock()`` — may suspend the task."""
+        return Lock(mutex=mutex)
+
+    def unlock(self, mutex: Any) -> Unlock:
+        """``mutex.unlock()``."""
+        return Unlock(mutex=mutex)
+
+    def yield_now(self) -> YieldNow:
+        """``hpx::this_thread::yield()`` / ``std::this_thread::yield()``."""
+        return YieldNow()
+
+    # -- direct runtime services ------------------------------------------
+
+    def new_mutex(self) -> Any:
+        """Create a mutex understood by the executing runtime."""
+        return self._runtime.create_mutex()

@@ -1,0 +1,77 @@
+"""Effects yielded by task bodies to their executing runtime.
+
+A task body is a generator.  Each ``yield`` hands one of these effect
+objects to the runtime, which performs the operation in simulated time
+and resumes the generator with the result (a future handle, an awaited
+value, or ``None``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+
+class Effect:
+    """Base class for all effects (isinstance anchor)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Spawn(Effect):
+    """Launch ``fn(ctx, *args)`` as a new task; resumes with a future.
+
+    ``policy`` is a launch-policy name: ``"async"``, ``"deferred"``,
+    ``"fork"`` or ``"sync"`` (see Table II / Section V-B of the paper).
+    """
+
+    fn: Callable[..., Any]
+    args: tuple = ()
+    policy: str = "async"
+    stack_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class Await(Effect):
+    """Block until *future* is ready; resumes with its value.
+
+    Equivalent of ``future.get()`` in the benchmarks.
+    """
+
+    future: Any
+
+
+@dataclass(frozen=True)
+class AwaitAll(Effect):
+    """Block until every future in *futures* is ready; resumes with a
+    list of their values (``hpx::when_all`` / joining a vector of
+    ``std::future``)."""
+
+    futures: Sequence[Any]
+
+
+@dataclass(frozen=True)
+class Compute(Effect):
+    """Consume simulated machine resources described by *work*."""
+
+    work: Any  # repro.model.work.Work
+
+
+@dataclass(frozen=True)
+class Lock(Effect):
+    """Acquire *mutex*, suspending if it is held."""
+
+    mutex: Any
+
+
+@dataclass(frozen=True)
+class Unlock(Effect):
+    """Release *mutex*, waking one waiter if any."""
+
+    mutex: Any
+
+
+@dataclass(frozen=True)
+class YieldNow(Effect):
+    """Cooperatively yield the core (``hpx::this_thread::yield``)."""

@@ -1,0 +1,112 @@
+"""Future/promise used by both runtimes.
+
+Semantics follow ``std::future`` / ``hpx::future``: single producer,
+single fulfilment, value or exception, ready-callbacks for the runtimes
+to wake waiters.  The *waiting* mechanics differ per runtime (an HPX
+task suspends; a kernel thread blocks) and live in the runtimes — this
+class only carries state.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable
+
+
+class FutureState(enum.Enum):
+    NOT_READY = "not_ready"
+    READY = "ready"
+    EXCEPTION = "exception"
+
+
+class FutureError(RuntimeError):
+    """Invalid future usage (double set, get before ready)."""
+
+
+class ThrowValue:
+    """Resume marker: throw the wrapped exception into the waiting
+    generator instead of sending a value (``future.get()`` re-raising)."""
+
+    __slots__ = ("exc",)
+
+    def __init__(self, exc: BaseException) -> None:
+        self.exc = exc
+
+
+def resume_payload(future: "SimFuture") -> Any:
+    """What a waiter should be resumed with: the value, or a
+    :class:`ThrowValue` carrying the stored exception."""
+    exc = future.exception()
+    if exc is not None:
+        return ThrowValue(exc)
+    return future.value()
+
+
+def resume_payload_all(futures: Any) -> Any:
+    """Joint resume payload for a list of futures: the list of values,
+    or a :class:`ThrowValue` of the first stored exception."""
+    for fut in futures:
+        exc = fut.exception()
+        if exc is not None:
+            return ThrowValue(exc)
+    return [fut.value() for fut in futures]
+
+
+class SimFuture:
+    """Write-once container with ready callbacks."""
+
+    __slots__ = ("state", "_value", "_exception", "_callbacks", "producer_task")
+
+    def __init__(self, producer_task: Any = None) -> None:
+        self.state = FutureState.NOT_READY
+        self._value: Any = None
+        self._exception: BaseException | None = None
+        self._callbacks: list[Callable[["SimFuture"], None]] = []
+        # The task that will produce the value; runtimes use this to run
+        # `deferred` tasks inline at first wait.
+        self.producer_task = producer_task
+
+    @property
+    def is_ready(self) -> bool:
+        return self.state is not FutureState.NOT_READY
+
+    def set_value(self, value: Any) -> None:
+        """Fulfil the future; fires callbacks synchronously, in FIFO order."""
+        if self.is_ready:
+            raise FutureError("future already satisfied")
+        self._value = value
+        self.state = FutureState.READY
+        self._fire()
+
+    def set_exception(self, exc: BaseException) -> None:
+        """Fail the future; ``value`` will re-raise *exc* for every waiter."""
+        if self.is_ready:
+            raise FutureError("future already satisfied")
+        self._exception = exc
+        self.state = FutureState.EXCEPTION
+        self._fire()
+
+    def value(self) -> Any:
+        """The stored value (re-raises a stored exception)."""
+        if self.state is FutureState.READY:
+            return self._value
+        if self.state is FutureState.EXCEPTION:
+            assert self._exception is not None
+            raise self._exception
+        raise FutureError("future not ready")
+
+    def exception(self) -> BaseException | None:
+        """The stored exception, or None."""
+        return self._exception
+
+    def on_ready(self, callback: Callable[["SimFuture"], None]) -> None:
+        """Run *callback(self)* when ready (immediately if already ready)."""
+        if self.is_ready:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _fire(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self)

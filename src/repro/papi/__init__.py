@@ -1,0 +1,13 @@
+"""Simulated PAPI: hardware event counters fed by the machine model.
+
+The paper accesses native Ivy Bridge offcore events through HPX's PAPI
+counter integration (``papi/OFFCORE_REQUESTS:ALL_DATA_RD`` …) and
+derives a bandwidth estimate: requests × 64-byte cache lines / elapsed
+time.  Here the same events are sourced from the
+:class:`~repro.simcore.machine.Machine` hardware-counter substrate.
+"""
+
+from repro.papi.events import PAPI_EVENTS, PapiEvent, lookup_event
+from repro.papi.hw import PapiSubstrate
+
+__all__ = ["PAPI_EVENTS", "PapiEvent", "PapiSubstrate", "lookup_event"]

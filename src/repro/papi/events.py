@@ -1,0 +1,54 @@
+"""Hardware event definitions.
+
+The three offcore-request events are the ones the paper sums for its
+bandwidth estimate (Section V-C); cycles and instructions are included
+as representative PAPI presets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PapiEvent:
+    """One measurable hardware event."""
+
+    name: str  # as used in counter names, e.g. OFFCORE_REQUESTS:ALL_DATA_RD
+    attr: str  # attribute of repro.simcore.machine.HardwareCounters
+    description: str
+
+
+PAPI_EVENTS: tuple[PapiEvent, ...] = (
+    PapiEvent(
+        "OFFCORE_REQUESTS:ALL_DATA_RD",
+        "offcore_all_data_rd",
+        "Offcore requests: all data reads (cache lines)",
+    ),
+    PapiEvent(
+        "OFFCORE_REQUESTS:DEMAND_CODE_RD",
+        "offcore_demand_code_rd",
+        "Offcore requests: demand code reads (cache lines)",
+    ),
+    PapiEvent(
+        "OFFCORE_REQUESTS:DEMAND_RFO",
+        "offcore_demand_rfo",
+        "Offcore requests: demand reads for ownership (cache lines)",
+    ),
+    PapiEvent("PAPI_TOT_CYC", "cycles", "Total cycles"),
+    PapiEvent("PAPI_TOT_INS", "instructions", "Instructions completed"),
+)
+
+_BY_NAME = {e.name: e for e in PAPI_EVENTS}
+
+
+def lookup_event(name: str) -> PapiEvent:
+    """Find an event by its counter-name spelling.
+
+    Raises ``KeyError`` with the available names on miss.
+    """
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        available = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown PAPI event {name!r}; available: {available}") from None

@@ -1,0 +1,31 @@
+"""PAPI substrate: reads hardware events out of the machine model."""
+
+from __future__ import annotations
+
+from repro.papi.events import PapiEvent, lookup_event
+from repro.simcore.machine import Machine
+
+
+class PapiSubstrate:
+    """Read access to per-core and machine-total hardware event counts."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+
+    def read(self, event: PapiEvent | str, core_index: int | None = None) -> int:
+        """Current count of *event*; totalled over all cores if
+        *core_index* is None."""
+        if isinstance(event, str):
+            event = lookup_event(event)
+        if core_index is not None:
+            return getattr(self.machine.cores[core_index].hw, event.attr)
+        return sum(getattr(core.hw, event.attr) for core in self.machine.cores)
+
+    def offcore_requests_total(self, core_index: int | None = None) -> int:
+        """Sum of the three offcore request events (the paper's
+        bandwidth numerator, in cache lines)."""
+        return (
+            self.read("OFFCORE_REQUESTS:ALL_DATA_RD", core_index)
+            + self.read("OFFCORE_REQUESTS:DEMAND_CODE_RD", core_index)
+            + self.read("OFFCORE_REQUESTS:DEMAND_RFO", core_index)
+        )

@@ -1,0 +1,90 @@
+"""Cost parameters of the HPX-style runtime.
+
+The magnitudes are calibrated so the ``/threads/time/average-overhead``
+counter reads 0.5–1 µs per task for the very-fine-grained Inncabs
+benchmarks, as reported in Section VI of the paper, and so steal traffic
+grows more expensive across the socket boundary (the knee in
+Figures 11/12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HpxParams:
+    """Tunable costs (nanoseconds unless noted) of the task runtime."""
+
+    # Charged inside the *parent's* body when it calls async().
+    task_create_ns: int = 150
+    enqueue_ns: int = 100
+
+    # Charged as scheduling overhead of the *child* task.
+    dequeue_ns: int = 50
+    context_switch_ns: int = 120
+    cleanup_ns: int = 70
+
+    # Synchronization costs.
+    future_get_ready_ns: int = 50  # get() on an already-ready future
+    suspend_ns: int = 180  # suspend on a not-ready future / contended mutex
+    notify_ns: int = 120  # waking a suspended task when a future is set
+    mutex_ns: int = 60  # uncontended lock/unlock
+
+    # Work stealing.
+    steal_same_socket_ns: int = 600
+    steal_cross_socket_ns: int = 1600
+    # Extra activation cost when a task runs on a different socket than
+    # it was created on: its context (stack, closure, queue/future cache
+    # lines) must migrate across the QPI link.  Negligible for coarse
+    # tasks, a large relative cost for ~1 µs tasks — the source of the
+    # socket-boundary knee in Figures 11/12.
+    cross_socket_activation_ns: int = 900
+    # Coherence-channel model: once workers span both sockets, every
+    # scheduler operation (activation, spawn, resume) touches runtime
+    # structures whose cache lines bounce over QPI.  The channel is a
+    # serialized resource: ops from socket-0 workers hold it briefly,
+    # ops from remote-socket workers hold it much longer.  Coarse tasks
+    # issue few scheduler ops per second and never notice; ~1 µs tasks
+    # saturate it — reproducing the paper's observation that the very
+    # fine-grained benchmarks stop scaling (or degrade) past the
+    # 10-core socket boundary (Figs 5, 6, 11, 12).
+    qpi_local_hold_ns: int = 25
+    qpi_remote_hold_ns: int = 160
+
+    # Hyper-threading model: when two workers compute on one physical
+    # core simultaneously, each runs at 1/1.6 of full speed (combined
+    # throughput ~1.25x a single thread — typical SMT yield; the paper
+    # measured "small change in performance" and disabled HT).
+    smt_slowdown: float = 1.6
+
+    # Fraction of a task's memory traffic served from the remote socket
+    # when it executes away from its home socket.
+    cross_socket_data_fraction: float = 0.7
+
+    # Stack handling: HPX allocates a small user-level stack per task.
+    stack_alloc_base_ns: int = 60
+    stack_alloc_per_kb_ns: int = 8
+    default_stack_bytes: int = 8 * 1024
+
+    # -- ablation knobs (defaults are HPX's actual design choices) -----
+    # Local queue discipline for newly spawned tasks: "lifo" executes
+    # depth-first (HPX; bounds the live-task count), "fifo" executes
+    # breadth-first (explodes live tasks on recursive benchmarks — the
+    # ablation showing *why* HPX chose LIFO).
+    local_queue_discipline: str = "lifo"
+    # Victim scan order when stealing: "near-first" prefers same-socket
+    # victims (HPX), "random" ignores topology (pays cross-socket
+    # latency far more often), "far-first" is the adversarial order.
+    steal_order: str = "near-first"
+
+    # Memory-traffic multiplier for benchmarks whose access pattern is
+    # hurt by depth-first (LIFO) execution order; see DESIGN.md §1 and
+    # the Pyramids discussion — a wavefront stencil loses temporal
+    # locality under the HPX execution order at low core counts.
+    locality_penalty_default: float = 1.0
+
+    def stack_alloc_ns(self, stack_bytes: int) -> int:
+        """Cost of allocating a task stack of *stack_bytes*."""
+        size = stack_bytes if stack_bytes > 0 else self.default_stack_bytes
+        return self.stack_alloc_base_ns + self.stack_alloc_per_kb_ns * (size // 1024)

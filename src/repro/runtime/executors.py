@@ -1,0 +1,157 @@
+"""Executors and parallel algorithms (Section III).
+
+"Within HPX, a comprehensive set of parallel algorithms, executors, and
+distributed data structures have been developed — all of which are
+fully conforming to current C++ standardization documents."  This
+module provides the single-node slice of that layer on top of the task
+API: chunking executors and ``for_each`` / ``transform_reduce``
+algorithm skeletons usable inside any task body via ``yield from``.
+
+Example::
+
+    def body(ctx):
+        total = yield from transform_reduce(
+            ctx, range(10_000),
+            transform=lambda i: i * i,
+            reduce_fn=operator.add, initial=0,
+            work_per_item=Work(cpu_ns=200),
+        )
+        return total
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.model.work import Work
+
+DEFAULT_CHUNKS_PER_WORKER = 4
+
+
+@dataclass(frozen=True)
+class StaticChunkSize:
+    """Fixed chunk size (``hpx::execution::experimental::static_chunk_size``)."""
+
+    size: int
+
+    def chunk(self, n_items: int, n_workers: int) -> int:
+        if self.size < 1:
+            raise ValueError("chunk size must be >= 1")
+        return self.size
+
+
+@dataclass(frozen=True)
+class AutoChunkSize:
+    """Chunks sized for ~4 chunks per worker (load-balance headroom)."""
+
+    chunks_per_worker: int = DEFAULT_CHUNKS_PER_WORKER
+
+    def chunk(self, n_items: int, n_workers: int) -> int:
+        target = n_workers * self.chunks_per_worker
+        return max(1, math.ceil(n_items / target))
+
+
+def _item_work(work_per_item: Work | int | None, count: int) -> Work | None:
+    if work_per_item is None:
+        return None
+    if isinstance(work_per_item, int):
+        return Work(cpu_ns=work_per_item * count)
+    return Work(
+        cpu_ns=work_per_item.cpu_ns * count,
+        membytes=work_per_item.membytes * count,
+        working_set=work_per_item.working_set,
+        data_rd_fraction=work_per_item.data_rd_fraction,
+        code_rd_fraction=work_per_item.code_rd_fraction,
+        rfo_fraction=work_per_item.rfo_fraction,
+    )
+
+
+def _foreach_chunk(ctx: Any, fn: Callable[[Any], None], items: Sequence[Any], work: Work | None):
+    if work is not None:
+        yield ctx.compute(work)
+    for item in items:
+        fn(item)
+    return None
+
+
+def for_each(
+    ctx: Any,
+    items: Iterable[Any],
+    fn: Callable[[Any], None],
+    *,
+    work_per_item: Work | int | None = None,
+    chunking: StaticChunkSize | AutoChunkSize | None = None,
+    policy: str = "async",
+):
+    """Parallel ``for_each``: apply *fn* to every item in chunked tasks.
+
+    A generator — call as ``yield from for_each(ctx, ...)`` inside a
+    task body.  *work_per_item* declares the simulated cost of one item
+    (ns or a :class:`Work`); *fn* runs for real.
+    """
+    items = list(items)
+    if not items:
+        return None
+    chunking = chunking or AutoChunkSize()
+    chunk = chunking.chunk(len(items), ctx.num_workers)
+    futures = []
+    for lo in range(0, len(items), chunk):
+        part = items[lo : lo + chunk]
+        fut = yield ctx.async_(
+            _foreach_chunk, fn, part, _item_work(work_per_item, len(part)), policy=policy
+        )
+        futures.append(fut)
+    yield ctx.wait_all(futures)
+    return None
+
+
+def _transform_chunk(
+    ctx: Any,
+    transform: Callable[[Any], Any],
+    reduce_fn: Callable[[Any, Any], Any],
+    items: Sequence[Any],
+    work: Work | None,
+):
+    if work is not None:
+        yield ctx.compute(work)
+    iterator = iter(items)
+    acc = transform(next(iterator))
+    for item in iterator:
+        acc = reduce_fn(acc, transform(item))
+    return acc
+
+
+def transform_reduce(
+    ctx: Any,
+    items: Iterable[Any],
+    *,
+    transform: Callable[[Any], Any],
+    reduce_fn: Callable[[Any, Any], Any],
+    initial: Any,
+    work_per_item: Work | int | None = None,
+    chunking: StaticChunkSize | AutoChunkSize | None = None,
+):
+    """Parallel ``transform_reduce``; resumes with the reduced value.
+
+    ``reduce_fn`` must be associative (chunks reduce independently and
+    combine in chunk order).
+    """
+    items = list(items)
+    if not items:
+        return initial
+    chunking = chunking or AutoChunkSize()
+    chunk = chunking.chunk(len(items), ctx.num_workers)
+    futures = []
+    for lo in range(0, len(items), chunk):
+        part = items[lo : lo + chunk]
+        fut = yield ctx.async_(
+            _transform_chunk, transform, reduce_fn, part, _item_work(work_per_item, len(part))
+        )
+        futures.append(fut)
+    partials = yield ctx.wait_all(futures)
+    acc = initial
+    for value in partials:
+        acc = reduce_fn(acc, value)
+    return acc

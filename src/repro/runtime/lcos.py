@@ -1,0 +1,139 @@
+"""LCOs — Local Control Objects (HPX's synchronization vocabulary).
+
+Library-level primitives built from futures and the effect protocol,
+usable on either runtime (they contain no scheduler hooks).  Bodies run
+atomically between ``yield`` points in the simulation, which is what
+makes the unlocked counter updates here race-free — the same guarantee
+HPX gets from its atomics.
+
+- :class:`Barrier` — N parties arrive-and-wait, reusable generations;
+- :class:`Latch` — count-down once, wait many;
+- :class:`Event` — manual-reset signal;
+- :func:`dataflow` — run a task when its inputs are ready, without
+  blocking the caller (``hpx::dataflow``);
+- :func:`then` — attach a continuation to one future
+  (``future::then``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.model.future import SimFuture
+
+
+class Barrier:
+    """Cyclic barrier for a fixed number of parties."""
+
+    def __init__(self, parties: int) -> None:
+        if parties < 1:
+            raise ValueError("parties must be >= 1")
+        self.parties = parties
+        self._arrived = 0
+        self._generation = SimFuture()
+        self.generations_completed = 0
+
+    def wait(self, ctx: Any):
+        """``yield from barrier.wait(ctx)`` — blocks until all arrive."""
+        self._arrived += 1
+        if self._arrived == self.parties:
+            released, self._generation = self._generation, SimFuture()
+            self._arrived = 0
+            self.generations_completed += 1
+            released.set_value(self.generations_completed)
+            return self.generations_completed
+        generation = self._generation
+        result = yield ctx.wait(generation)
+        return result
+
+
+class Latch:
+    """Single-use count-down latch (``hpx::latch``)."""
+
+    def __init__(self, count: int) -> None:
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self._count = count
+        self._done = SimFuture()
+
+    @property
+    def remaining(self) -> int:
+        return self._count
+
+    def count_down(self, n: int = 1) -> None:
+        """Non-blocking; callable from plain code inside a body."""
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if self._count == 0:
+            raise RuntimeError("latch already released")
+        self._count = max(0, self._count - n)
+        if self._count == 0:
+            self._done.set_value(None)
+
+    def wait(self, ctx: Any):
+        """``yield from latch.wait(ctx)``."""
+        if self._count == 0:
+            return None
+        yield ctx.wait(self._done)
+        return None
+
+
+class Event:
+    """Manual-reset event (``hpx::lcos::local::event``)."""
+
+    def __init__(self) -> None:
+        self._signal = SimFuture()
+
+    @property
+    def is_set(self) -> bool:
+        return self._signal.is_ready
+
+    def set(self) -> None:
+        if not self._signal.is_ready:
+            self._signal.set_value(None)
+
+    def reset(self) -> None:
+        if self._signal.is_ready:
+            self._signal = SimFuture()
+
+    def wait(self, ctx: Any):
+        """``yield from event.wait(ctx)``."""
+        if not self._signal.is_ready:
+            yield ctx.wait(self._signal)
+        return None
+
+
+def _dataflow_task(ctx: Any, fn: Callable[..., Any], futures: tuple):
+    values = yield ctx.wait_all(futures)
+    inner = yield ctx.async_(fn, *values)
+    result = yield ctx.wait(inner)
+    return result
+
+
+def dataflow(ctx: Any, fn: Callable[..., Any], *futures: Any):
+    """``hpx::dataflow``: returns (via ``yield``) a future of
+    ``fn(ctx, *values)`` that runs once every input future is ready —
+    the caller is never blocked.
+
+    Usage::
+
+        combined = yield dataflow(ctx, combine_fn, fut_a, fut_b)
+        ...
+        result = yield ctx.wait(combined)
+    """
+    return ctx.async_(_dataflow_task, fn, tuple(futures))
+
+
+def _then_task(ctx: Any, fn: Callable[..., Any], future: Any):
+    value = yield ctx.wait(future)
+    inner = yield ctx.async_(fn, value)
+    result = yield ctx.wait(inner)
+    return result
+
+
+def then(ctx: Any, future: Any, fn: Callable[..., Any]):
+    """``future.then(fn)``: continuation attached without blocking.
+
+    Usage:  ``chained = yield then(ctx, fut, continuation_fn)``
+    """
+    return ctx.async_(_then_task, fn, future)

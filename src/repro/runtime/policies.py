@@ -1,0 +1,35 @@
+"""Launch policies (Section V-B of the paper).
+
+``async``
+    Stage the child in the spawning worker's queue; the parent
+    continues (child stealing).  The policy every presented result
+    uses — the paper found it fastest for both runtimes.
+``fork``
+    New in HPX 0.9.11: continuation stealing for strict fork/join —
+    the child is placed at the hot end of the queue so it runs next on
+    this worker, and the parent's continuation becomes stealable.
+``deferred``
+    The child is not staged at all; it runs inline, on the waiting
+    worker, at the first ``get()`` on its future.
+``sync``
+    Execute inline at the spawn point.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class LaunchPolicy(enum.Enum):
+    ASYNC = "async"
+    DEFERRED = "deferred"
+    FORK = "fork"
+    SYNC = "sync"
+
+    @classmethod
+    def parse(cls, text: str) -> "LaunchPolicy":
+        try:
+            return cls(text.lower())
+        except ValueError:
+            valid = ", ".join(p.value for p in cls)
+            raise ValueError(f"unknown launch policy {text!r}; expected one of {valid}")

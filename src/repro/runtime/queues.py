@@ -1,0 +1,60 @@
+"""Per-worker double-ended task queues.
+
+The owning worker pushes and pops at the *head* (LIFO — depth-first
+execution keeps the live-task count small, which is exactly why the HPX
+versions of the recursive Inncabs benchmarks survive where thread-per-
+task ``std::async`` exhausts memory).  Thieves take from the *tail*
+(FIFO end — the oldest, typically largest, piece of work).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.runtime.task import Task
+
+
+@dataclass
+class QueueStats:
+    """Counts backing the /threads/count/... queue counters."""
+
+    pushed: int = 0
+    popped: int = 0
+    stolen_from: int = 0  # tasks other workers stole from this queue
+
+
+class TaskQueue:
+    """Work-stealing deque for one worker."""
+
+    def __init__(self, owner_worker: int) -> None:
+        self.owner_worker = owner_worker
+        self._dq: deque[Task] = deque()
+        self.stats = QueueStats()
+
+    def __len__(self) -> int:
+        return len(self._dq)
+
+    def push_head(self, task: Task) -> None:
+        """Stage at the hot end (runs next on the owner)."""
+        self._dq.appendleft(task)
+        self.stats.pushed += 1
+
+    def push_tail(self, task: Task) -> None:
+        """Stage at the cold end (runs last / stolen first)."""
+        self._dq.append(task)
+        self.stats.pushed += 1
+
+    def pop_head(self) -> Task | None:
+        """Owner takes the most recently staged task (depth-first)."""
+        if not self._dq:
+            return None
+        self.stats.popped += 1
+        return self._dq.popleft()
+
+    def steal_tail(self) -> Task | None:
+        """A thief takes the oldest staged task."""
+        if not self._dq:
+            return None
+        self.stats.stolen_from += 1
+        return self._dq.pop()

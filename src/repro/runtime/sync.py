@@ -1,0 +1,55 @@
+"""Local synchronization primitives (``hpx::lcos::local::mutex``).
+
+A contended lock suspends the acquiring task (it does not spin or block
+its worker); unlock hands the mutex directly to the first waiter and
+reschedules it.  The Intersim/Round/Floorplan/QAP benchmarks use these.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.runtime.task import Task
+
+
+class Mutex:
+    """FIFO-fair suspending mutex."""
+
+    __slots__ = ("mid", "owner", "waiters", "acquisitions", "contentions")
+
+    def __init__(self, mid: int) -> None:
+        self.mid = mid
+        self.owner: Task | None = None
+        self.waiters: deque[Task] = deque()
+        self.acquisitions = 0
+        self.contentions = 0
+
+    @property
+    def locked(self) -> bool:
+        return self.owner is not None
+
+    def try_acquire(self, task: Task) -> bool:
+        """Take the mutex if free; returns False (and queues nothing) if held."""
+        if self.owner is None:
+            self.owner = task
+            self.acquisitions += 1
+            return True
+        return False
+
+    def enqueue_waiter(self, task: Task) -> None:
+        self.contentions += 1
+        self.waiters.append(task)
+
+    def release(self, task: Task) -> Task | None:
+        """Release; returns the waiter that now owns the mutex (if any)."""
+        if self.owner is not task:
+            raise RuntimeError(
+                f"task {task.tid} releasing mutex {self.mid} it does not own"
+            )
+        if self.waiters:
+            next_owner = self.waiters.popleft()
+            self.owner = next_owner
+            self.acquisitions += 1
+            return next_owner
+        self.owner = None
+        return None

@@ -1,0 +1,43 @@
+"""Simulated time units.
+
+All simulated durations and timestamps in this package are integer
+nanoseconds.  Integer arithmetic keeps event ordering exactly
+reproducible across platforms (no floating-point drift), which the
+determinism tests rely on.
+"""
+
+from __future__ import annotations
+
+NS_PER_S = 1_000_000_000
+US = 1_000
+MS = 1_000_000
+
+
+def us(value: float) -> int:
+    """Convert microseconds to integer nanoseconds (rounded)."""
+    return round(value * US)
+
+
+def ms(value: float) -> int:
+    """Convert milliseconds to integer nanoseconds (rounded)."""
+    return round(value * MS)
+
+
+def s(value: float) -> int:
+    """Convert seconds to integer nanoseconds (rounded)."""
+    return round(value * NS_PER_S)
+
+
+def from_us(value: float) -> int:
+    """Alias of :func:`us`, reads better at call sites taking paper values."""
+    return us(value)
+
+
+def ns_to_us(value: int) -> float:
+    """Convert integer nanoseconds to float microseconds."""
+    return value / US
+
+
+def ns_to_s(value: int) -> float:
+    """Convert integer nanoseconds to float seconds."""
+    return value / NS_PER_S

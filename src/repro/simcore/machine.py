@@ -1,0 +1,188 @@
+"""Node model: sockets, cores, shared L3 pressure, hardware counters.
+
+Models the paper's platform (Table III): dual-socket Intel Ivy Bridge
+E5-2670v2, 10 cores/socket at 2.5 GHz, 25 MB shared L3 per socket,
+hyper-threading disabled.  The machine turns :class:`~repro.model.work.Work`
+descriptions into segment durations (CPU time + contended memory time)
+and accumulates per-core hardware event counts that the simulated PAPI
+layer exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.work import Work
+from repro.simcore.memory import MemoryController
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of the simulated node."""
+
+    name: str = "ivybridge-2x10"
+    sockets: int = 2
+    cores_per_socket: int = 10
+    freq_ghz: float = 2.5
+    l3_bytes_per_socket: int = 25 * 1024 * 1024
+    socket_peak_bw: float = 42e9  # bytes/s per socket
+    per_core_bw: float = 7.5e9  # bytes/s a single core can draw
+    cross_socket_factor: float = 1.6
+    ram_bytes: int = 62 * 1024**3
+    ipc: float = 1.6  # retired instructions per cycle (for the counter model)
+    l3_pressure_alpha: float = 0.35  # extra-traffic slope once L3 overflows
+    l3_max_factor: float = 2.5  # cap on the L3 overflow inflation
+
+    @property
+    def total_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    def socket_of(self, core_index: int) -> int:
+        if not 0 <= core_index < self.total_cores:
+            raise IndexError(f"core {core_index} out of range")
+        return core_index // self.cores_per_socket
+
+
+@dataclass
+class HardwareCounters:
+    """Monotonic per-core hardware event counts (the PAPI substrate)."""
+
+    cycles: int = 0
+    instructions: int = 0
+    offcore_all_data_rd: int = 0
+    offcore_demand_code_rd: int = 0
+    offcore_demand_rfo: int = 0
+
+    def offcore_total(self) -> int:
+        return (
+            self.offcore_all_data_rd
+            + self.offcore_demand_code_rd
+            + self.offcore_demand_rfo
+        )
+
+
+@dataclass
+class Core:
+    """One physical core."""
+
+    index: int
+    socket: int
+    hw: HardwareCounters = field(default_factory=HardwareCounters)
+    busy_ns: int = 0  # cumulative time spent executing segments
+
+
+@dataclass(frozen=True)
+class SegmentTicket:
+    """Handle returned by :meth:`Machine.segment_begin`; pass back to
+    :meth:`Machine.segment_end` when the segment's end event fires."""
+
+    core_index: int
+    socket: int
+    duration_ns: int
+    membytes_effective: int
+    uses_memory: bool
+
+
+class Machine:
+    """The simulated node: resolves Work into time and event counts."""
+
+    def __init__(self, spec: MachineSpec | None = None) -> None:
+        self.spec = spec or MachineSpec()
+        self.cores = [
+            Core(index=i, socket=self.spec.socket_of(i))
+            for i in range(self.spec.total_cores)
+        ]
+        self.controllers = [
+            MemoryController(
+                s,
+                peak_bw=self.spec.socket_peak_bw,
+                per_core_bw=self.spec.per_core_bw,
+                cross_socket_factor=self.spec.cross_socket_factor,
+            )
+            for s in range(self.spec.sockets)
+        ]
+        # Sum of the working sets of segments currently active per socket,
+        # for the shared-L3 pressure model.
+        self._active_ws = [0] * self.spec.sockets
+
+    # -- queries ---------------------------------------------------------
+
+    def core(self, index: int) -> Core:
+        return self.cores[index]
+
+    def l3_pressure_factor(self, socket: int, extra_ws: int) -> float:
+        """Traffic inflation once concurrent working sets overflow the L3."""
+        ws = self._active_ws[socket] + extra_ws
+        overflow = ws / self.spec.l3_bytes_per_socket - 1.0
+        if overflow <= 0:
+            return 1.0
+        return min(
+            self.spec.l3_max_factor, 1.0 + self.spec.l3_pressure_alpha * overflow
+        )
+
+    def total_offcore_bytes(self) -> int:
+        return sum(c.stats.bytes_total for c in self.controllers)
+
+    # -- segment lifecycle -------------------------------------------------
+
+    def segment_begin(
+        self,
+        core_index: int,
+        work: Work,
+        *,
+        cross_socket_fraction: float = 0.0,
+        speed_factor: float = 1.0,
+    ) -> SegmentTicket:
+        """Start executing *work* on core *core_index*.
+
+        Returns a ticket carrying the segment duration under current
+        contention.  *speed_factor* scales CPU time (>1 means slower;
+        used by the kernel model for time-slicing dilation).
+        """
+        core = self.cores[core_index]
+        socket = core.socket
+        controller = self.controllers[socket]
+
+        pressure = self.l3_pressure_factor(socket, work.effective_working_set)
+        membytes = round(work.membytes * pressure)
+        mem_ns = controller.service_time_ns(
+            membytes, cross_socket_fraction=cross_socket_fraction
+        )
+        cpu_ns = round(work.cpu_ns * speed_factor)
+        duration = cpu_ns + mem_ns
+
+        uses_memory = membytes > 0
+        if uses_memory:
+            controller.stream_started(
+                membytes, cross_socket_fraction=cross_socket_fraction
+            )
+        self._active_ws[socket] += work.effective_working_set
+
+        # Hardware counter increments are booked at segment start; the
+        # simulated PAPI layer only ever observes them after the segment
+        # completes, so eager booking is unobservable and cheaper.
+        lines_work = work.scaled_traffic(pressure)
+        data_rd, code_rd, rfo = lines_work.offcore_requests()
+        core.hw.offcore_all_data_rd += data_rd
+        core.hw.offcore_demand_code_rd += code_rd
+        core.hw.offcore_demand_rfo += rfo
+        cycles = round(duration * self.spec.freq_ghz)
+        core.hw.cycles += cycles
+        core.hw.instructions += round(work.cpu_ns * self.spec.freq_ghz * self.spec.ipc)
+        core.busy_ns += duration
+
+        return SegmentTicket(
+            core_index=core_index,
+            socket=socket,
+            duration_ns=duration,
+            membytes_effective=membytes,
+            uses_memory=uses_memory,
+        )
+
+    def segment_end(self, ticket: SegmentTicket, work: Work) -> None:
+        """Finish the segment identified by *ticket*."""
+        if ticket.uses_memory:
+            self.controllers[ticket.socket].stream_finished()
+        self._active_ws[ticket.socket] -= work.effective_working_set
+        if self._active_ws[ticket.socket] < 0:
+            raise RuntimeError("working-set accounting went negative")

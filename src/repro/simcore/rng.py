@@ -1,0 +1,28 @@
+"""Deterministic random-number derivation.
+
+Every stochastic component (UTS tree shapes, benchmark jitter, kernel
+scheduler tie-breaking) derives its generator from a root seed plus a
+tuple of string/int keys, so sub-streams are independent and stable no
+matter in which order components are constructed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def derive_seed(root_seed: int, *keys: object) -> int:
+    """Derive a 64-bit child seed from *root_seed* and a key path."""
+    digest = hashlib.blake2b(digest_size=8)
+    digest.update(str(root_seed).encode())
+    for key in keys:
+        digest.update(b"/")
+        digest.update(repr(key).encode())
+    return int.from_bytes(digest.digest(), "little")
+
+
+def derive_rng(root_seed: int, *keys: object) -> np.random.Generator:
+    """A :class:`numpy.random.Generator` seeded from a derived seed."""
+    return np.random.default_rng(derive_seed(root_seed, *keys))

@@ -1,0 +1,96 @@
+"""hwloc-style topology and thread-affinity support.
+
+The paper pins worker threads so sockets fill first (``taskset`` for the
+Standard versions, ``--hpx:bind`` for HPX, verified with ``htop``).
+:class:`Topology` reproduces that: it maps a requested worker count to a
+concrete list of core indices under a binding mode.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.simcore.machine import MachineSpec
+
+
+class BindMode(enum.Enum):
+    """Thread-to-core binding policies (subset of ``--hpx:bind``)."""
+
+    COMPACT = "compact"  # fill socket 0 first, then socket 1 (paper default)
+    SCATTER = "scatter"  # round-robin across sockets
+    BALANCED = "balanced"  # split evenly across sockets, compact within
+
+    @classmethod
+    def parse(cls, text: str) -> "BindMode":
+        try:
+            return cls(text.lower())
+        except ValueError:
+            valid = ", ".join(m.value for m in cls)
+            raise ValueError(f"unknown bind mode {text!r}; expected one of {valid}")
+
+
+class Topology:
+    """Logical view of the machine for affinity decisions."""
+
+    def __init__(self, spec: MachineSpec) -> None:
+        self.spec = spec
+
+    def describe_core(self, core_index: int) -> str:
+        """hwloc-like location string, e.g. ``socket#1/core#3``."""
+        socket = self.spec.socket_of(core_index)
+        local = core_index - socket * self.spec.cores_per_socket
+        return f"socket#{socket}/core#{local}"
+
+    def binding(self, num_workers: int, mode: BindMode = BindMode.COMPACT) -> list[int]:
+        """Core indices for *num_workers* workers under *mode*.
+
+        Raises ``ValueError`` if more workers than cores are requested
+        (hyper-threading is disabled in the paper's experiments).
+        """
+        total = self.spec.total_cores
+        if not 1 <= num_workers <= total:
+            raise ValueError(f"num_workers must be in [1, {total}], got {num_workers}")
+        if mode is BindMode.COMPACT:
+            return list(range(num_workers))
+        if mode is BindMode.SCATTER:
+            order: list[int] = []
+            per = self.spec.cores_per_socket
+            for local in range(per):
+                for socket in range(self.spec.sockets):
+                    order.append(socket * per + local)
+            return order[:num_workers]
+        if mode is BindMode.BALANCED:
+            per = self.spec.cores_per_socket
+            base, extra = divmod(num_workers, self.spec.sockets)
+            order = []
+            for socket in range(self.spec.sockets):
+                count = base + (1 if socket < extra else 0)
+                order.extend(range(socket * per, socket * per + count))
+            return order
+        raise AssertionError(f"unhandled bind mode {mode}")
+
+    def binding_smt(
+        self, num_workers: int, smt: int = 1, mode: BindMode = BindMode.COMPACT
+    ) -> list[int]:
+        """Core indices allowing up to *smt* workers per physical core.
+
+        With hyper-threading enabled (smt=2) the paper binds two
+        threads per core; workers beyond the physical core count wrap
+        around onto already-occupied cores in binding order.
+        """
+        if smt < 1:
+            raise ValueError("smt must be >= 1")
+        total = self.spec.total_cores * smt
+        if not 1 <= num_workers <= total:
+            raise ValueError(f"num_workers must be in [1, {total}], got {num_workers}")
+        if num_workers <= self.spec.total_cores:
+            return self.binding(num_workers, mode)
+        full = self.binding(self.spec.total_cores, mode)
+        out = list(full)
+        while len(out) < num_workers:
+            out.append(full[len(out) % len(full)])
+        return out
+
+    def sockets_used(self, core_indices: list[int]) -> set[int]:
+        """Set of socket ids covered by *core_indices*."""
+        return {self.spec.socket_of(c) for c in core_indices}

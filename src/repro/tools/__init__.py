@@ -1,0 +1,32 @@
+"""External performance-tool models (Section II / Table I).
+
+TAU and HPCToolkit instrument the ``std::async`` baseline the way the
+real tools do — and fail the way the real tools fail:
+
+- **TAU** sizes its per-thread measurement tables at program launch
+  (default 128 threads/process, fixed at compile time); benchmarks that
+  create more threads than the table holds die with SegV.  Where it
+  fits, per-thread registration and event buffering serialize on TAU's
+  internal locks, inflating runtimes by orders of magnitude.
+- **HPCToolkit** has no thread-table limit, but opens measurement files
+  per thread; thousands of short-lived threads serialize on the
+  filesystem and exhaust file descriptors / memory, so the benchmark
+  either crashes or times out.
+
+The contrast with the in-runtime HPX counters — same metrics, ~zero
+infrastructure, no crash — is the paper's Table I argument.
+"""
+
+from repro.tools.base import ToolCrash, ToolModel, ToolOutcome, ToolRunResult, run_with_tool
+from repro.tools.hpctoolkit import HPCTOOLKIT
+from repro.tools.tau import TAU
+
+__all__ = [
+    "HPCTOOLKIT",
+    "TAU",
+    "ToolCrash",
+    "ToolModel",
+    "ToolOutcome",
+    "ToolRunResult",
+    "run_with_tool",
+]

@@ -1,0 +1,20 @@
+"""HPCToolkit model.
+
+"While HPCToolkit doesn't set a limit on the number of threads per
+process, the introduced overhead becomes unacceptable as each thread is
+launched and the file system is accessed, and in most benchmark cases
+the program crashes due to system resource constraints."  (Section II)
+"""
+
+from __future__ import annotations
+
+from repro.simcore.clock import ms, us
+from repro.tools.base import ToolModel
+
+HPCTOOLKIT = ToolModel(
+    name="HPCToolkit",
+    max_threads=None,  # no table limit ...
+    serialized_per_thread_ns=ms(2),  # ... but per-thread measurement files
+    per_thread_memory_bytes=1_536 * 1024,  # unwind caches + trace buffers
+    per_dispatch_ns=us(5),  # sampling interrupts + stack unwinds
+)

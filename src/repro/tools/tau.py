@@ -1,0 +1,33 @@
+"""TAU model.
+
+"In the case of TAU, the data structures used to store performance
+measurements are constructed at program launch ... While the maximum
+number of threads per process is a configurable option (default=128),
+it is fixed at compilation time.  Even when set to a much larger number
+(i.e. 64k) TAU causes the benchmark programs to crash."  (Section II)
+"""
+
+from __future__ import annotations
+
+from repro.simcore.clock import ms, us
+from repro.tools.base import ToolModel
+
+TAU = ToolModel(
+    name="TAU",
+    max_threads=128,  # compile-time thread table (the paper's default)
+    serialized_per_thread_ns=ms(3),  # per-thread registration, serialized
+    per_thread_memory_bytes=2 * 1024 * 1024,  # measurement tables per thread
+    per_dispatch_ns=us(3),  # event probes on context switches
+)
+
+
+def tau_with_table(max_threads: int) -> ToolModel:
+    """TAU rebuilt with a larger thread table (the paper's 64k attempt —
+    the memory for per-thread tables then kills the runs instead)."""
+    return ToolModel(
+        name=f"TAU(threads={max_threads})",
+        max_threads=max_threads,
+        serialized_per_thread_ns=TAU.serialized_per_thread_ns,
+        per_thread_memory_bytes=TAU.per_thread_memory_bytes,
+        per_dispatch_ns=TAU.per_dispatch_ns,
+    )

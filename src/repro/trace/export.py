@@ -1,0 +1,40 @@
+"""Chrome-trace (catapult) export.
+
+Converts a recorded event stream into the Trace Event Format understood
+by ``chrome://tracing`` / Perfetto: complete events per task activation
+on a per-worker timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.trace.recorder import TaskEvent, TraceRecorder
+
+
+def to_chrome_trace(trace: TraceRecorder | list[TaskEvent]) -> str:
+    """JSON string in Chrome Trace Event Format (X complete events)."""
+    events = trace.events if isinstance(trace, TraceRecorder) else trace
+    out: list[dict[str, Any]] = []
+    active: dict[int, TaskEvent] = {}
+    for event in sorted(events, key=lambda e: (e.time_ns, e.tid)):
+        if event.kind == "activate":
+            active[event.tid] = event
+        elif event.kind in ("suspend", "terminate"):
+            start = active.pop(event.tid, None)
+            if start is None:
+                continue
+            out.append(
+                {
+                    "name": event.description,
+                    "cat": "task",
+                    "ph": "X",
+                    "ts": start.time_ns / 1e3,  # microseconds
+                    "dur": (event.time_ns - start.time_ns) / 1e3,
+                    "pid": 0,
+                    "tid": start.worker if start.worker is not None else -1,
+                    "args": {"task": event.tid},
+                }
+            )
+    return json.dumps({"traceEvents": out, "displayTimeUnit": "ms"})

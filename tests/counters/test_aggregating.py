@@ -1,0 +1,85 @@
+"""Statistics counters."""
+
+import pytest
+
+from repro.counters.aggregating import StatisticsCounter
+from repro.counters.base import CounterEnvironment, CounterInfo, RawCounter
+from repro.counters.names import parse_counter_name
+from repro.counters.types import CounterType
+from repro.simcore.events import Engine
+
+
+def make(op, window=10, source=None):
+    env = CounterEnvironment(engine=Engine())
+    state = source if source is not None else {"v": 0.0}
+    info = CounterInfo("/test/raw", CounterType.RAW, "t")
+    underlying = RawCounter(parse_counter_name("/test/raw"), info, env, lambda: state["v"])
+    stat_info = CounterInfo(f"/statistics/{op}", CounterType.AGGREGATING, "t")
+    name = parse_counter_name(f"/statistics{{/test{{locality#0/total}}/raw}}/{op}")
+    return StatisticsCounter(name, stat_info, env, underlying, op, window), state
+
+
+def feed(counter, state, values):
+    out = []
+    for v in values:
+        state["v"] = v
+        out.append(counter.read())
+    return out
+
+
+def test_rolling_average():
+    c, state = make("rolling_average", window=3)
+    results = feed(c, state, [1, 2, 3, 4])
+    assert results == [1.0, 1.5, 2.0, 3.0]  # window drops the oldest
+
+
+def test_average_unbounded():
+    c, state = make("average")
+    results = feed(c, state, [1, 2, 3, 4])
+    assert results == [1.0, 1.5, 2.0, 2.5]
+
+
+def test_min_max():
+    c, state = make("min", window=5)
+    assert feed(c, state, [3, 1, 2]) == [3, 1, 1]
+    c, state = make("max", window=5)
+    assert feed(c, state, [3, 1, 5]) == [3, 3, 5]
+
+
+def test_median():
+    c, state = make("median", window=5)
+    assert feed(c, state, [5, 1, 3]) == [5, 3.0, 3]
+    assert feed(c, state, [9])[-1] == 4.0  # median of [5,1,3,9]
+
+
+def test_stddev():
+    c, state = make("stddev", window=5)
+    results = feed(c, state, [2, 2, 2])
+    assert results == [0.0, 0.0, 0.0]
+    c, state = make("stddev", window=5)
+    results = feed(c, state, [0, 4])
+    assert results[-1] == pytest.approx(2.0)
+
+
+def test_reset_clears_history():
+    c, state = make("max", window=5)
+    feed(c, state, [10])
+    c.reset()
+    assert feed(c, state, [1]) == [1]
+
+
+def test_empty_reads_zero():
+    c, _ = make("rolling_average")
+    c._samples.clear()
+    # read() always samples first, so never truly empty; verify sample path
+    assert isinstance(c.read(), float)
+
+
+def test_unsupported_op_rejected():
+    with pytest.raises(ValueError, match="unsupported"):
+        make("mode")
+
+
+def test_bad_window_rejected():
+    with pytest.raises(ValueError, match="window"):
+        make("max", window=0)

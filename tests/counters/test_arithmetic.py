@@ -1,0 +1,86 @@
+"""Arithmetic (derived) counters."""
+
+import pytest
+
+from repro.counters.arithmetic import ArithmeticCounter
+from repro.counters.base import CounterEnvironment, CounterInfo, RawCounter
+from repro.counters.names import parse_counter_name
+from repro.counters.types import CounterType
+from repro.simcore.events import Engine
+
+
+def make(op, values, factor=1.0):
+    env = CounterEnvironment(engine=Engine())
+    info = CounterInfo("/test/raw", CounterType.RAW, "t")
+    underlying = [
+        RawCounter(parse_counter_name("/test/raw"), info, env, lambda v=v: v)
+        for v in values
+    ]
+    name = parse_counter_name(f"/arithmetics/{op}@x")
+    ainfo = CounterInfo(f"/arithmetics/{op}", CounterType.ARITHMETIC, "t")
+    return ArithmeticCounter(name, ainfo, env, underlying, op, factor)
+
+
+def test_add():
+    assert make("add", [1, 2, 3]).read() == 6
+
+
+def test_subtract():
+    assert make("subtract", [10, 3, 2]).read() == 5
+
+
+def test_multiply():
+    assert make("multiply", [2, 3, 4]).read() == 24
+
+
+def test_divide():
+    assert make("divide", [100, 4, 5]).read() == 5
+
+
+def test_divide_by_zero_is_zero():
+    assert make("divide", [100, 0]).read() == 0.0
+
+
+def test_mean():
+    assert make("mean", [2, 4, 6]).read() == 4
+
+
+def test_scale():
+    assert make("scale", [10], factor=64).read() == 640
+
+
+def test_scale_needs_one_underlying():
+    with pytest.raises(ValueError):
+        make("scale", [1, 2])
+
+
+def test_subtract_needs_two():
+    with pytest.raises(ValueError):
+        make("subtract", [1])
+
+
+def test_unsupported_op():
+    with pytest.raises(ValueError, match="unsupported"):
+        make("power", [1])
+
+
+def test_empty_underlying_rejected():
+    with pytest.raises(ValueError):
+        make("add", [])
+
+
+def test_reset_propagates():
+    env = CounterEnvironment(engine=Engine())
+    info = CounterInfo("/test/raw", CounterType.RAW, "t")
+    from repro.counters.base import MonotonicCounter
+
+    state = {"v": 100.0}
+    mono = MonotonicCounter(
+        parse_counter_name("/test/raw"), info, env, lambda: state["v"]
+    )
+    name = parse_counter_name("/arithmetics/add@x")
+    ainfo = CounterInfo("/arithmetics/add", CounterType.ARITHMETIC, "t")
+    c = ArithmeticCounter(name, ainfo, env, [mono], "add")
+    assert c.read() == 100.0
+    c.reset()
+    assert c.read() == 0.0

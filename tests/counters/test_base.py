@@ -1,0 +1,142 @@
+"""Counter base types: reset semantics, instrumentation life cycle."""
+
+import pytest
+
+from repro.counters.base import (
+    AverageRatioCounter,
+    CounterEnvironment,
+    CounterInfo,
+    ElapsedTimeCounter,
+    MonotonicCounter,
+    RawCounter,
+)
+from repro.counters.names import parse_counter_name
+from repro.counters.types import CounterStatus, CounterType
+from repro.simcore.events import Engine
+
+
+def make_env():
+    return CounterEnvironment(engine=Engine())
+
+
+def info(ctype=CounterType.RAW, instrument=0):
+    return CounterInfo(
+        type_name="/test/counter",
+        counter_type=ctype,
+        help_text="test",
+        instrument_ns_per_task=instrument,
+    )
+
+
+NAME = parse_counter_name("/test{locality#0/total}/counter")
+
+
+def test_raw_counter_reads_source():
+    source = {"v": 10.0}
+    c = RawCounter(NAME, info(), make_env(), lambda: source["v"])
+    assert c.read() == 10.0
+    source["v"] = 20.0
+    assert c.read() == 20.0
+
+
+def test_raw_counter_reset_is_noop():
+    source = {"v": 10.0}
+    c = RawCounter(NAME, info(), make_env(), lambda: source["v"])
+    c.reset()
+    assert c.read() == 10.0
+
+
+def test_monotonic_baseline_reset():
+    source = {"v": 100.0}
+    c = MonotonicCounter(NAME, info(), make_env(), lambda: source["v"])
+    assert c.read() == 100.0
+    c.reset()
+    assert c.read() == 0.0
+    source["v"] = 130.0
+    assert c.read() == 30.0
+
+
+def test_average_ratio():
+    state = {"num": 1000.0, "den": 10.0}
+    c = AverageRatioCounter(
+        NAME, info(), make_env(), lambda: state["num"], lambda: state["den"]
+    )
+    assert c.read() == 100.0
+    c.reset()
+    state["num"] = 1600.0
+    state["den"] = 13.0
+    assert c.read() == pytest.approx(200.0)  # delta 600 / delta 3
+
+
+def test_average_ratio_zero_denominator():
+    c = AverageRatioCounter(NAME, info(), make_env(), lambda: 5.0, lambda: 0.0)
+    assert c.read() == 0.0
+
+
+def test_elapsed_time():
+    env = make_env()
+    c = ElapsedTimeCounter(NAME, info(CounterType.ELAPSED_TIME), env)
+    env.engine.schedule(500, lambda: None)
+    env.engine.run()
+    assert c.read() == 500.0
+    c.reset()
+    assert c.read() == 0.0
+    env.engine.schedule(100, lambda: None)
+    env.engine.run()
+    assert c.read() == 100.0
+
+
+def test_get_counter_value_fields():
+    env = make_env()
+    c = RawCounter(NAME, info(), env, lambda: 7.0)
+    v1 = c.get_counter_value()
+    v2 = c.get_counter_value()
+    assert v1.value == 7.0
+    assert v1.count == 1
+    assert v2.count == 2
+    assert v1.status is CounterStatus.VALID_DATA
+    assert v1.name == str(NAME)
+    assert v1.time == env.engine.now
+
+
+def test_get_counter_value_with_reset():
+    source = {"v": 50.0}
+    c = MonotonicCounter(NAME, info(), make_env(), lambda: source["v"])
+    v = c.get_counter_value(reset=True)
+    assert v.value == 50.0
+    assert c.read() == 0.0
+
+
+class _FakeRuntime:
+    def __init__(self):
+        self.instrument_ns = 0
+
+    def add_instrumentation(self, delta):
+        self.instrument_ns += delta
+
+
+def test_start_stop_registers_instrumentation():
+    runtime = _FakeRuntime()
+    env = CounterEnvironment(engine=Engine(), runtime=runtime)
+    c = RawCounter(NAME, info(instrument=40), env, lambda: 0.0)
+    c.start()
+    assert runtime.instrument_ns == 40
+    c.start()  # idempotent
+    assert runtime.instrument_ns == 40
+    c.stop()
+    assert runtime.instrument_ns == 0
+    c.stop()  # idempotent
+    assert runtime.instrument_ns == 0
+
+
+def test_start_without_runtime_is_safe():
+    c = RawCounter(NAME, info(instrument=40), make_env(), lambda: 0.0)
+    c.start()
+    c.stop()
+
+
+def test_env_require():
+    env = make_env()
+    assert env.require("engine") is env.engine
+    with pytest.raises(RuntimeError, match="runtime"):
+        env.require("runtime")

@@ -1,0 +1,148 @@
+"""Active-counter manager and periodic queries."""
+
+import pytest
+
+from repro.counters.manager import ActiveCounters, format_counter_values
+from repro.counters.query import QUERY_COST_PER_COUNTER_NS, PeriodicQuery
+from repro.simcore.clock import us
+
+from tests.conftest import fib_body
+
+
+def test_active_counters_create(registry):
+    ac = ActiveCounters(registry, ["/threads/time/average", "/runtime/uptime"])
+    assert len(ac) == 2
+    assert ac.names() == [
+        "/threads{locality#0/total}/time/average",
+        "/runtime{locality#0/total}/uptime",
+    ]
+
+
+def test_evaluate_returns_values(registry):
+    ac = ActiveCounters(registry, ["/threads/count/cumulative"])
+    values = ac.evaluate_active_counters()
+    assert len(values) == 1
+    assert values[0].value == 0.0
+
+
+def test_evaluate_with_description(registry):
+    ac = ActiveCounters(registry, ["/runtime/uptime"])
+    values = ac.evaluate_active_counters(description="sample-3")
+    assert "[sample-3]" in values[0].name
+
+
+def test_evaluate_reset_protocol(registry, hpx4):
+    """The paper's per-sample protocol: evaluate+reset between samples."""
+    ac = ActiveCounters(registry, ["/threads/count/cumulative"])
+    hpx4.run_to_completion(fib_body, 8)
+    first = ac.evaluate_active_counters(reset=True)[0].value
+    assert first == hpx4.stats.tasks_executed
+    # After the reset the counter reads zero until more tasks run.
+    assert ac.evaluate_active_counters()[0].value == 0.0
+
+
+def test_reset_active_counters(registry, hpx4):
+    ac = ActiveCounters(registry, ["/threads/count/cumulative"])
+    hpx4.run_to_completion(fib_body, 8)
+    ac.reset_active_counters()
+    assert ac.evaluate_dict()["/threads{locality#0/total}/count/cumulative"] == 0.0
+
+
+def test_start_stop_instrumentation(registry, hpx4):
+    ac = ActiveCounters(registry, ["/threads/time/average"])
+    assert hpx4.instrument_ns == 0
+    ac.start()
+    assert hpx4.instrument_ns > 0
+    ac.stop()
+    assert hpx4.instrument_ns == 0
+
+
+def test_start_idempotent(registry, hpx4):
+    ac = ActiveCounters(registry, ["/threads/time/average"])
+    ac.start()
+    level = hpx4.instrument_ns
+    ac.start()
+    assert hpx4.instrument_ns == level
+
+
+def test_format_counter_values(registry):
+    ac = ActiveCounters(registry, ["/threads/count/cumulative"])
+    text = format_counter_values(ac.evaluate_active_counters())
+    assert text == "/threads{locality#0/total}/count/cumulative,1,0,0"
+
+
+def test_periodic_query_out_of_band(registry, hpx4, engine):
+    query = PeriodicQuery(
+        ActiveCounters(registry, ["/threads/count/cumulative"]),
+        engine=engine,
+        runtime=hpx4,
+        interval_ns=us(20),
+        in_band=False,
+    )
+    query.start()
+    hpx4.run_to_completion(fib_body, 12)
+    assert len(query.samples) > 2
+    # Samples are cumulative and non-decreasing.
+    values = [s[0].value for s in query.samples]
+    assert values == sorted(values)
+
+
+def test_periodic_query_in_band_perturbs(registry, hpx4, engine):
+    """In-band querying consumes scheduler time (the counter-overhead
+    effect of Section V-C)."""
+    from repro.runtime.scheduler import HpxRuntime
+    from repro.simcore.events import Engine
+    from repro.simcore.machine import Machine
+
+    baseline_engine = Engine()
+    baseline = HpxRuntime(baseline_engine, Machine(), num_workers=1)
+    baseline.run_to_completion(fib_body, 10)
+
+    query = PeriodicQuery(
+        ActiveCounters(registry, ["/threads/count/cumulative"]),
+        engine=engine,
+        runtime=hpx4,
+        interval_ns=us(50),
+        in_band=True,
+    )
+    query.start()
+    hpx4.run_to_completion(fib_body, 10)
+    assert query.samples  # queries actually ran as tasks
+
+
+def test_periodic_query_stops_at_quiescence(registry, hpx4, engine):
+    query = PeriodicQuery(
+        ActiveCounters(registry, ["/runtime/uptime"]),
+        engine=engine,
+        runtime=hpx4,
+        interval_ns=us(100),
+        in_band=False,
+    )
+    query.start()
+    hpx4.run_to_completion(fib_body, 9)
+    engine.run()  # drain any remaining query ticks
+    assert not query._running
+    assert engine.pending_events == 0
+
+
+def test_periodic_query_validation(registry, hpx4, engine):
+    ac = ActiveCounters(registry, ["/runtime/uptime"])
+    with pytest.raises(ValueError, match="interval"):
+        PeriodicQuery(ac, engine=engine, runtime=hpx4, interval_ns=0)
+    with pytest.raises(ValueError, match="runtime"):
+        PeriodicQuery(ac, engine=engine, runtime=None, interval_ns=10, in_band=True)
+
+
+def test_periodic_query_sink(registry, hpx4, engine):
+    seen = []
+    query = PeriodicQuery(
+        ActiveCounters(registry, ["/runtime/uptime"]),
+        engine=engine,
+        runtime=hpx4,
+        interval_ns=us(30),
+        in_band=False,
+        sink=seen.append,
+    )
+    query.start()
+    hpx4.run_to_completion(fib_body, 12)
+    assert seen == query.samples

@@ -1,0 +1,142 @@
+"""Counter-name grammar."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.counters.names import (
+    CounterName,
+    CounterNameError,
+    format_counter_name,
+    parse_counter_name,
+)
+
+
+def test_full_name():
+    name = parse_counter_name("/threads{locality#0/total}/time/average")
+    assert name.object_name == "threads"
+    assert name.counter_name == "time/average"
+    assert name.parent_instance == "locality"
+    assert name.parent_index == 0
+    assert name.instance_name == "total"
+    assert name.instance_index is None
+    assert not name.has_wildcard
+
+
+def test_worker_instance():
+    name = parse_counter_name("/threads{locality#0/worker-thread#3}/count/cumulative")
+    assert name.instance_name == "worker-thread"
+    assert name.instance_index == 3
+
+
+def test_default_instance():
+    name = parse_counter_name("/threads/idle-rate")
+    assert name.instance_name == "total"
+    assert name.parent_index == 0
+
+
+def test_wildcard_instance_index():
+    name = parse_counter_name("/threads{locality#0/worker-thread#*}/time/average")
+    assert name.instance_is_wildcard
+    assert name.has_wildcard
+
+
+def test_wildcard_parent_index():
+    name = parse_counter_name("/threads{locality#*/total}/time/average")
+    assert name.parent_index is None
+    assert name.has_wildcard
+
+
+def test_parameters():
+    name = parse_counter_name(
+        "/arithmetics/add@/threads{locality#0/total}/time/average,/runtime/uptime"
+    )
+    assert name.object_name == "arithmetics"
+    assert name.counter_name == "add"
+    assert name.parameters == "/threads{locality#0/total}/time/average,/runtime/uptime"
+
+
+def test_papi_colon_names():
+    name = parse_counter_name("/papi{locality#0/total}/OFFCORE_REQUESTS:ALL_DATA_RD")
+    assert name.object_name == "papi"
+    assert name.counter_name == "OFFCORE_REQUESTS:ALL_DATA_RD"
+
+
+def test_statistics_embedded_instance():
+    name = parse_counter_name(
+        "/statistics{/threads{locality#0/total}/time/average}/rolling_average@5"
+    )
+    assert name.object_name == "statistics"
+    assert name.embedded_instance == "/threads{locality#0/total}/time/average"
+    assert name.counter_name == "rolling_average"
+    assert name.parameters == "5"
+
+
+def test_format_round_trip():
+    for text in (
+        "/threads{locality#0/total}/time/average",
+        "/threads{locality#0/worker-thread#7}/count/cumulative",
+        "/papi{locality#0/total}/OFFCORE_REQUESTS:DEMAND_RFO",
+        "/runtime{locality#0/total}/uptime",
+        "/statistics{/threads{locality#0/total}/time/average}/max@3",
+    ):
+        assert format_counter_name(parse_counter_name(text)) == text
+
+
+def test_str_is_canonical():
+    name = parse_counter_name("/threads/idle-rate")
+    assert str(name) == "/threads{locality#0/total}/idle-rate"
+
+
+def test_type_name():
+    name = parse_counter_name("/threads{locality#0/worker-thread#1}/time/average")
+    assert name.type_name == "/threads/time/average"
+
+
+def test_with_instance():
+    name = parse_counter_name("/threads{locality#0/worker-thread#*}/time/average")
+    concrete = name.with_instance("worker-thread", 5)
+    assert not concrete.has_wildcard
+    assert concrete.instance_index == 5
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",
+        "threads/time",
+        "/",
+        "/threads",
+        "/threads{locality#0/total}",
+        "/threads{unclosed/time/average",
+        "/threads{locality}/time/average",
+        "/threads{locality#x/total}/time/average",
+        "/{locality#0/total}/time/average",
+    ],
+)
+def test_malformed_rejected(bad):
+    with pytest.raises(CounterNameError):
+        parse_counter_name(bad)
+
+
+_ident = st.from_regex(r"[a-zA-Z_][a-zA-Z0-9_\-]{0,10}", fullmatch=True)
+
+
+@given(
+    _ident,
+    _ident,
+    st.integers(min_value=0, max_value=99),
+    _ident,
+    st.one_of(st.none(), st.integers(min_value=0, max_value=99)),
+)
+def test_property_round_trip(obj, parent, pidx, inst, idx):
+    name = CounterName(
+        object_name=obj,
+        counter_name="some/counter",
+        parent_instance=parent,
+        parent_index=pidx,
+        instance_name=inst,
+        instance_index=idx,
+    )
+    parsed = parse_counter_name(format_counter_name(name))
+    assert parsed == name

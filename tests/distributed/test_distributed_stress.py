@@ -1,0 +1,76 @@
+"""Property-style stress of the distributed substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed import DistributedSystem
+from repro.simcore.events import Engine
+
+
+def _square(ctx, n):
+    yield ctx.compute(1_000)
+    return n * n
+
+
+@settings(max_examples=10)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 2), st.integers(0, 2), st.integers(0, 50)),
+        min_size=1,
+        max_size=25,
+    )
+)
+def test_property_all_remote_calls_resolve(calls):
+    engine = Engine()
+    system = DistributedSystem(engine, localities=3, cores_per_locality=2)
+    futures = [
+        (n, system.async_remote(src, dst, _square, n)) for src, dst, n in calls
+    ]
+    system.run()
+    for n, fut in futures:
+        assert fut.is_ready
+        assert fut.value() == n * n
+
+
+@settings(max_examples=10)
+@given(st.lists(st.text(alphabet="abcdef", min_size=1, max_size=6), unique=True, max_size=10))
+def test_property_agas_names_round_trip(names):
+    engine = Engine()
+    system = DistributedSystem(engine, localities=2, cores_per_locality=1)
+    for i, name in enumerate(names):
+        system.register_name(i % 2, name, payload=i)
+    system.run()
+    resolved = [system.resolve_name(1, name) for name in names]
+    system.run()
+    for i, fut in enumerate(resolved):
+        assert fut.value().payload == i
+        assert fut.value().locality == i % 2
+
+
+def test_parcel_conservation():
+    """Every parcel sent is received exactly once, system-wide."""
+    engine = Engine()
+    system = DistributedSystem(engine, localities=4, cores_per_locality=2)
+    for k in range(12):
+        system.async_remote(k % 4, (k + 1) % 4, _square, k)
+    system.run()
+    sent = sum(loc.parcelport.stats.sent for loc in system.localities)
+    received = sum(loc.parcelport.stats.received for loc in system.localities)
+    bytes_sent = sum(loc.parcelport.stats.bytes_sent for loc in system.localities)
+    bytes_received = sum(
+        loc.parcelport.stats.bytes_received for loc in system.localities
+    )
+    assert sent == received == 24  # 12 invocations + 12 result parcels
+    assert bytes_sent == bytes_received
+
+
+def test_deterministic_distributed_run():
+    def run_once():
+        engine = Engine()
+        system = DistributedSystem(engine, localities=3, cores_per_locality=2)
+        futs = [system.async_remote(0, d, _square, d) for d in (1, 2, 1)]
+        system.run()
+        return engine.now, [f.value() for f in futs]
+
+    assert run_once() == run_once()

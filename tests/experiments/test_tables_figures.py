@@ -1,0 +1,111 @@
+"""Table and figure generators (small configurations)."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import (
+    BANDWIDTH_FIGURES,
+    EXEC_TIME_FIGURES,
+    OVERHEAD_FIGURES,
+    bandwidth_figure,
+    execution_time_figure,
+    overhead_figure,
+)
+from repro.experiments.report import (
+    render_bandwidth_figure,
+    render_execution_time_figure,
+    render_overhead_figure,
+    render_table,
+    render_table1,
+    render_table5,
+)
+from repro.experiments.tables import Table5Row, classify_granularity, table1, table5
+
+TINY = ExperimentConfig(samples=1, core_counts=(1, 2))
+
+
+def test_figure_maps_cover_the_paper():
+    assert len(EXEC_TIME_FIGURES) == 7  # Figs 1-7
+    assert len(OVERHEAD_FIGURES) == 5  # Figs 8-12
+    assert len(BANDWIDTH_FIGURES) == 2  # Figs 13-14
+    assert EXEC_TIME_FIGURES["fig2"] == "pyramids"
+    assert OVERHEAD_FIGURES["fig12"] == "uts"
+    assert BANDWIDTH_FIGURES["fig13"] == "alignment"
+
+
+def test_classify_granularity_bands():
+    assert classify_granularity(2748) == "coarse"
+    assert classify_granularity(988) == "coarse"
+    assert classify_granularity(246) == "moderate"
+    assert classify_granularity(107) == "fine"
+    assert classify_granularity(52.1) == "fine"
+    assert classify_granularity(28.1) == "fine"
+    assert classify_granularity(4.6) == "very fine"
+    assert classify_granularity(1.02) == "very fine"
+
+
+def test_execution_time_figure_small():
+    fig = execution_time_figure(
+        "fig3", config=TINY, params={"n": 64, "cutoff": 16}
+    )
+    rows = fig.rows()
+    assert [r[0] for r in rows] == [1, 2]
+    assert all(r[1] is not None for r in rows)  # hpx completed
+    text = render_execution_time_figure(fig)
+    assert "strassen" in text and "cores" in text
+
+
+def test_execution_time_figure_unknown():
+    with pytest.raises(KeyError, match="fig1"):
+        execution_time_figure("fig99", config=TINY)
+
+
+def test_overhead_figure_small():
+    fig = overhead_figure("fig8", config=TINY, params={"nseq": 5, "seqlen": 60})
+    assert fig.cores == [1, 2]
+    # On one core the ideal equals the measured by construction.
+    assert fig.ideal_scaling_ms[0] == pytest.approx(fig.exec_time_ms[0])
+    assert fig.ideal_task_time_ms[0] == pytest.approx(fig.task_time_per_core_ms[0])
+    assert all(v > 0 for v in fig.sched_overhead_per_core_ms)
+    render_overhead_figure(fig)
+
+
+def test_bandwidth_figure_small():
+    fig = bandwidth_figure("fig14", config=TINY, params={"width": 2048, "steps": 16, "chunk": 8, "block": 512})
+    assert fig.cores == [1, 2]
+    assert all(b > 0 for b in fig.bandwidth_gbs)
+    assert fig.bandwidth_gbs[1] > fig.bandwidth_gbs[0]  # more cores, more BW
+    render_bandwidth_figure(fig)
+
+
+def test_table5_row_fields():
+    rows = table5(
+        benchmarks=["fib"],
+        core_counts=(1, 2),
+        samples=1,
+        params={"fib": {"n": 12}},
+    )
+    (row,) = rows
+    assert row.benchmark == "fib"
+    assert row.structure == "recursive-balanced"
+    assert row.granularity == "very fine"
+    assert row.paper_scaling_std == "fail"
+    text = render_table5(rows)
+    assert "fib" in text and "very fine" in text
+
+
+def test_table1_small():
+    rows = table1(benchmarks=["strassen"], cores=4)
+    (row,) = rows
+    assert row.benchmark == "strassen"
+    assert row.baseline_ms is not None
+    assert row.tau.outcome.value in ("SegV", "Abort", "timeout", "completed")
+    text = render_table1(rows)
+    assert "strassen" in text and "TAU" in text
+
+
+def test_render_table_generic():
+    text = render_table(["a", "b"], [[1, 2.5], ["x", None]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "2.50" in text and "-" in text

@@ -1,0 +1,90 @@
+"""Future semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.future import FutureError, FutureState, SimFuture
+
+
+def test_initial_state():
+    f = SimFuture()
+    assert not f.is_ready
+    assert f.state is FutureState.NOT_READY
+
+
+def test_set_and_get():
+    f = SimFuture()
+    f.set_value(42)
+    assert f.is_ready
+    assert f.value() == 42
+
+
+def test_get_before_ready_raises():
+    with pytest.raises(FutureError):
+        SimFuture().value()
+
+
+def test_double_set_rejected():
+    f = SimFuture()
+    f.set_value(1)
+    with pytest.raises(FutureError):
+        f.set_value(2)
+    with pytest.raises(FutureError):
+        f.set_exception(RuntimeError("late"))
+
+
+def test_exception_propagates():
+    f = SimFuture()
+    f.set_exception(ValueError("boom"))
+    assert f.state is FutureState.EXCEPTION
+    with pytest.raises(ValueError, match="boom"):
+        f.value()
+
+
+def test_callbacks_fire_on_set():
+    f = SimFuture()
+    seen = []
+    f.on_ready(lambda fut: seen.append(("a", fut.value())))
+    f.on_ready(lambda fut: seen.append(("b", fut.value())))
+    f.set_value(7)
+    assert seen == [("a", 7), ("b", 7)]
+
+
+def test_callback_after_ready_fires_immediately():
+    f = SimFuture()
+    f.set_value(1)
+    seen = []
+    f.on_ready(lambda fut: seen.append(fut.value()))
+    assert seen == [1]
+
+
+def test_callbacks_fire_once():
+    f = SimFuture()
+    seen = []
+    f.on_ready(lambda fut: seen.append(1))
+    f.set_value(None)
+    assert seen == [1]
+
+
+def test_callback_on_exception():
+    f = SimFuture()
+    seen = []
+    f.on_ready(lambda fut: seen.append(fut.state))
+    f.set_exception(RuntimeError())
+    assert seen == [FutureState.EXCEPTION]
+
+
+def test_producer_task_recorded():
+    marker = object()
+    assert SimFuture(producer_task=marker).producer_task is marker
+
+
+@given(st.lists(st.integers(), min_size=0, max_size=10))
+def test_property_all_callbacks_see_same_value(values):
+    f = SimFuture()
+    seen = []
+    for _ in values:
+        f.on_ready(lambda fut: seen.append(fut.value()))
+    f.set_value("payload")
+    assert seen == ["payload"] * len(values)

@@ -1,0 +1,82 @@
+"""Work descriptions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.work import CACHE_LINE, Work
+
+
+def test_defaults():
+    w = Work(cpu_ns=100)
+    assert w.membytes == 0
+    assert w.effective_working_set == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Work(cpu_ns=-1)
+    with pytest.raises(ValueError):
+        Work(cpu_ns=0, membytes=-5)
+    with pytest.raises(ValueError):
+        Work(cpu_ns=0, data_rd_fraction=0.5, code_rd_fraction=0.5, rfo_fraction=0.5)
+
+
+def test_working_set_defaults_to_membytes():
+    assert Work(cpu_ns=0, membytes=4096).effective_working_set == 4096
+    assert Work(cpu_ns=0, membytes=4096, working_set=128).effective_working_set == 128
+
+
+def test_offcore_requests_split():
+    w = Work(cpu_ns=0, membytes=6400)  # 100 lines
+    data, code, rfo = w.offcore_requests()
+    assert (data, code, rfo) == (70, 5, 25)
+
+
+def test_offcore_requests_zero():
+    assert Work(cpu_ns=10).offcore_requests() == (0, 0, 0)
+
+
+def test_scaled_traffic():
+    w = Work(cpu_ns=100, membytes=1000)
+    scaled = w.scaled_traffic(1.5)
+    assert scaled.cpu_ns == 100
+    assert scaled.membytes == 1500
+
+
+def test_scaled_full():
+    w = Work(cpu_ns=100, membytes=1000)
+    scaled = w.scaled(2.0)
+    assert scaled.cpu_ns == 200
+    assert scaled.membytes == 2000
+
+
+def test_scale_identity_returns_self():
+    w = Work(cpu_ns=100, membytes=1000)
+    assert w.scaled(1.0) is w
+    assert w.scaled_traffic(1.0) is w
+
+
+def test_frozen():
+    w = Work(cpu_ns=100)
+    with pytest.raises(AttributeError):
+        w.cpu_ns = 5  # type: ignore[misc]
+
+
+@given(st.integers(min_value=0, max_value=10**9))
+def test_property_request_split_sums_to_lines(membytes):
+    w = Work(cpu_ns=0, membytes=membytes)
+    data, code, rfo = w.offcore_requests()
+    assert data + code + rfo == membytes // CACHE_LINE
+    assert min(data, code, rfo) >= 0
+
+
+@given(
+    st.integers(min_value=0, max_value=10**6),
+    st.floats(min_value=0.1, max_value=5.0),
+)
+def test_property_scaling_proportional(membytes, factor):
+    w = Work(cpu_ns=1000, membytes=membytes)
+    scaled = w.scaled(factor)
+    assert scaled.cpu_ns == round(1000 * factor)
+    assert scaled.membytes == round(membytes * factor)

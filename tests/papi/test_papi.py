@@ -1,0 +1,55 @@
+"""Simulated PAPI substrate."""
+
+import pytest
+
+from repro.model.work import Work
+from repro.papi.events import PAPI_EVENTS, lookup_event
+from repro.papi.hw import PapiSubstrate
+
+
+def test_event_catalogue():
+    names = {e.name for e in PAPI_EVENTS}
+    assert "OFFCORE_REQUESTS:ALL_DATA_RD" in names
+    assert "OFFCORE_REQUESTS:DEMAND_CODE_RD" in names
+    assert "OFFCORE_REQUESTS:DEMAND_RFO" in names
+    assert "PAPI_TOT_CYC" in names
+    assert "PAPI_TOT_INS" in names
+
+
+def test_lookup_event():
+    event = lookup_event("PAPI_TOT_CYC")
+    assert event.attr == "cycles"
+
+
+def test_lookup_unknown_lists_available():
+    with pytest.raises(KeyError, match="PAPI_TOT_CYC"):
+        lookup_event("NOT_AN_EVENT")
+
+
+def test_read_per_core_and_total(machine):
+    papi = PapiSubstrate(machine)
+    work = Work(cpu_ns=100, membytes=6400)
+    t0 = machine.segment_begin(0, work)
+    machine.segment_end(t0, work)
+    t1 = machine.segment_begin(12, work)
+    machine.segment_end(t1, work)
+    per_core = papi.read("OFFCORE_REQUESTS:ALL_DATA_RD", 0)
+    total = papi.read("OFFCORE_REQUESTS:ALL_DATA_RD")
+    assert per_core == 70
+    assert total == 140
+    assert papi.read("OFFCORE_REQUESTS:ALL_DATA_RD", 5) == 0
+
+
+def test_read_accepts_event_object(machine):
+    papi = PapiSubstrate(machine)
+    assert papi.read(lookup_event("PAPI_TOT_INS")) == 0
+
+
+def test_offcore_requests_total(machine):
+    papi = PapiSubstrate(machine)
+    work = Work(cpu_ns=0, membytes=6400)
+    t = machine.segment_begin(3, work)
+    machine.segment_end(t, work)
+    assert papi.offcore_requests_total() == 100
+    assert papi.offcore_requests_total(3) == 100
+    assert papi.offcore_requests_total(4) == 0

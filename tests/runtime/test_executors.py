@@ -1,0 +1,157 @@
+"""Parallel algorithms / executors layer."""
+
+import operator
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.scheduler import StdRuntime
+from repro.model.work import Work
+from repro.runtime.executors import (
+    AutoChunkSize,
+    StaticChunkSize,
+    for_each,
+    transform_reduce,
+)
+from repro.runtime.scheduler import HpxRuntime
+from repro.simcore.events import Engine
+from repro.simcore.machine import Machine
+
+
+def run_body(body, cores=4, runtime_cls=HpxRuntime):
+    engine = Engine()
+    rt = runtime_cls(engine, Machine(), num_workers=cores)
+    return rt.run_to_completion(body), rt, engine
+
+
+def test_static_chunk_size():
+    assert StaticChunkSize(8).chunk(100, 4) == 8
+    with pytest.raises(ValueError):
+        StaticChunkSize(0).chunk(10, 1)
+
+
+def test_auto_chunk_size():
+    assert AutoChunkSize().chunk(160, 4) == 10  # 4 workers x 4 chunks
+    assert AutoChunkSize().chunk(3, 8) == 1  # never zero
+
+
+def test_for_each_applies_to_all():
+    seen = []
+
+    def body(ctx):
+        yield from for_each(ctx, range(100), seen.append, work_per_item=100)
+        return len(seen)
+
+    value, rt, _ = run_body(body)
+    assert value == 100
+    assert sorted(seen) == list(range(100))
+    assert rt.stats.tasks_executed > 5  # actually chunked into tasks
+
+
+def test_for_each_empty():
+    def body(ctx):
+        yield from for_each(ctx, [], lambda x: None)
+        return "done"
+
+    value, _, _ = run_body(body)
+    assert value == "done"
+
+
+def test_for_each_respects_static_chunking():
+    def body(ctx):
+        yield from for_each(
+            ctx, range(40), lambda x: None, work_per_item=10, chunking=StaticChunkSize(10)
+        )
+        return None
+
+    _, rt, _ = run_body(body)
+    # 4 chunk tasks + root.
+    assert rt.stats.tasks_executed == 5
+
+
+def test_transform_reduce_sum_of_squares():
+    def body(ctx):
+        total = yield from transform_reduce(
+            ctx,
+            range(1, 101),
+            transform=lambda i: i * i,
+            reduce_fn=operator.add,
+            initial=0,
+            work_per_item=50,
+        )
+        return total
+
+    value, _, _ = run_body(body)
+    assert value == sum(i * i for i in range(1, 101))
+
+
+def test_transform_reduce_empty_returns_initial():
+    def body(ctx):
+        value = yield from transform_reduce(
+            ctx, [], transform=lambda i: i, reduce_fn=operator.add, initial=42
+        )
+        return value
+
+    value, _, _ = run_body(body)
+    assert value == 42
+
+
+def test_work_per_item_as_work_object():
+    def body(ctx):
+        yield from for_each(
+            ctx,
+            range(64),
+            lambda x: None,
+            work_per_item=Work(cpu_ns=1000, membytes=64),
+        )
+        return None
+
+    _, rt, engine = run_body(body, cores=1)
+    # 64 items x 1000 ns of declared work must appear in task time.
+    assert rt.stats.exec_ns >= 64_000
+
+
+def test_parallelism_speeds_up_for_each():
+    def body(ctx):
+        yield from for_each(ctx, range(64), lambda x: None, work_per_item=50_000)
+        return None
+
+    _, _, e1 = run_body(body, cores=1)
+    _, _, e8 = run_body(body, cores=8)
+    assert e8.now < e1.now / 3
+
+
+def test_algorithms_work_on_std_runtime_too():
+    """The layer sits on the runtime-agnostic API (Table II)."""
+
+    def body(ctx):
+        total = yield from transform_reduce(
+            ctx,
+            range(20),
+            transform=lambda i: i,
+            reduce_fn=operator.add,
+            initial=0,
+            work_per_item=100,
+        )
+        return total
+
+    value, _, _ = run_body(body, runtime_cls=StdRuntime)
+    assert value == 190
+
+
+@settings(max_examples=15)
+@given(st.lists(st.integers(-1000, 1000), max_size=60), st.integers(1, 8))
+def test_property_transform_reduce_matches_sequential(values, cores):
+    def body(ctx):
+        out = yield from transform_reduce(
+            ctx,
+            values,
+            transform=lambda x: 2 * x + 1,
+            reduce_fn=operator.add,
+            initial=0,
+        )
+        return out
+
+    value, _, _ = run_body(body, cores=cores)
+    assert value == sum(2 * x + 1 for x in values)

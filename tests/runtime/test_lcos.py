@@ -1,0 +1,235 @@
+"""Local Control Objects: barrier, latch, event, dataflow, then."""
+
+import pytest
+
+from repro.kernel.scheduler import StdRuntime
+from repro.runtime.lcos import Barrier, Event, Latch, dataflow, then
+from repro.runtime.scheduler import HpxRuntime
+from repro.simcore.events import Engine
+from repro.simcore.machine import Machine
+
+
+def run(body, cores=4, runtime_cls=HpxRuntime):
+    engine = Engine()
+    rt = runtime_cls(engine, Machine(), num_workers=cores)
+    return rt.run_to_completion(body), engine
+
+
+# -- barrier ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("runtime_cls", [HpxRuntime, StdRuntime])
+def test_barrier_synchronizes_phases(runtime_cls):
+    """No party starts phase 2 before every party finished phase 1."""
+
+    def body(ctx):
+        barrier = Barrier(4)
+        log = []
+
+        def party(pctx, k):
+            yield pctx.compute(1_000 * (k + 1))  # staggered phase 1
+            log.append(("phase1", k))
+            yield from barrier.wait(pctx)
+            log.append(("phase2", k))
+            return k
+
+        futs = []
+        for k in range(4):
+            futs.append((yield ctx.async_(party, k)))
+        yield ctx.wait_all(futs)
+        return log
+
+    log, _ = run(body, runtime_cls=runtime_cls)
+    phase1_done = max(i for i, e in enumerate(log) if e[0] == "phase1")
+    phase2_start = min(i for i, e in enumerate(log) if e[0] == "phase2")
+    assert phase1_done < phase2_start
+
+
+def test_barrier_is_cyclic():
+    def body(ctx):
+        barrier = Barrier(2)
+        rounds = []
+
+        def party(pctx, k):
+            for _ in range(3):
+                generation = yield from barrier.wait(pctx)
+                rounds.append((k, generation))
+            return None
+
+        futs = []
+        for k in range(2):
+            futs.append((yield ctx.async_(party, k)))
+        yield ctx.wait_all(futs)
+        return barrier.generations_completed, sorted(rounds)
+
+    (generations, rounds), _ = run(body)
+    assert generations == 3
+    assert rounds == [(0, 1), (0, 2), (0, 3), (1, 1), (1, 2), (1, 3)]
+
+
+def test_barrier_validation():
+    with pytest.raises(ValueError):
+        Barrier(0)
+
+
+# -- latch ------------------------------------------------------------------
+
+
+def test_latch_releases_waiters():
+    def body(ctx):
+        latch = Latch(3)
+        order = []
+
+        def waiter(wctx):
+            yield from latch.wait(wctx)
+            order.append("released")
+            return None
+
+        def worker(wctx, k):
+            yield wctx.compute(2_000)
+            order.append(f"done{k}")
+            latch.count_down()
+            return None
+
+        wf = yield ctx.async_(waiter)
+        futs = []
+        for k in range(3):
+            futs.append((yield ctx.async_(worker, k)))
+        yield ctx.wait_all([wf, *futs])
+        return order
+
+    order, _ = run(body)
+    assert order[-1] == "released"
+    assert set(order[:-1]) == {"done0", "done1", "done2"}
+
+
+def test_latch_wait_after_release_is_immediate():
+    def body(ctx):
+        latch = Latch(1)
+        latch.count_down()
+        yield from latch.wait(ctx)
+        return latch.remaining
+
+    value, _ = run(body)
+    assert value == 0
+
+
+def test_latch_misuse():
+    latch = Latch(1)
+    latch.count_down()
+    with pytest.raises(RuntimeError, match="already released"):
+        latch.count_down()
+    with pytest.raises(ValueError):
+        Latch(0)
+    with pytest.raises(ValueError):
+        Latch(2).count_down(0)
+
+
+# -- event ---------------------------------------------------------------------
+
+
+def test_event_signalling():
+    def body(ctx):
+        event = Event()
+        log = []
+
+        def waiter(wctx, k):
+            yield from event.wait(wctx)
+            log.append(k)
+            return None
+
+        def setter(sctx):
+            yield sctx.compute(5_000)
+            event.set()
+            return None
+
+        futs = []
+        for k in range(3):
+            futs.append((yield ctx.async_(waiter, k)))
+        sf = yield ctx.async_(setter)
+        yield ctx.wait_all([*futs, sf])
+        return sorted(log), event.is_set
+
+    (log, is_set), _ = run(body)
+    assert log == [0, 1, 2]
+    assert is_set
+
+
+def test_event_reset():
+    event = Event()
+    event.set()
+    assert event.is_set
+    event.reset()
+    assert not event.is_set
+    event.set()  # idempotent set after reset
+    assert event.is_set
+
+
+# -- dataflow / then ----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("runtime_cls", [HpxRuntime, StdRuntime])
+def test_dataflow_combines_without_blocking(runtime_cls):
+    def body(ctx):
+        def produce(pctx, v):
+            yield pctx.compute(1_000)
+            return v
+
+        def combine(cctx, a, b):
+            yield cctx.compute(500)
+            return a + b
+
+        fa = yield ctx.async_(produce, 20)
+        fb = yield ctx.async_(produce, 22)
+        combined = yield dataflow(ctx, combine, fa, fb)
+        # The caller is free to do other work before waiting.
+        yield ctx.compute(100)
+        return (yield ctx.wait(combined))
+
+    value, _ = run(body, runtime_cls=runtime_cls)
+    assert value == 42
+
+
+def test_then_chains():
+    def body(ctx):
+        def produce(pctx):
+            yield pctx.compute(100)
+            return 10
+
+        def double(dctx, v):
+            yield dctx.compute(100)
+            return v * 2
+
+        fut = yield ctx.async_(produce)
+        chained = yield then(ctx, fut, double)
+        chained2 = yield then(ctx, chained, double)
+        return (yield ctx.wait(chained2))
+
+    value, _ = run(body)
+    assert value == 40
+
+
+def test_dataflow_pipeline_diamond():
+    """a -> (b, c) -> d diamond, fully non-blocking until the end."""
+
+    def body(ctx):
+        def source(pctx):
+            yield pctx.compute(100)
+            return 1
+
+        def add_one(pctx, v):
+            yield pctx.compute(100)
+            return v + 1
+
+        def join(pctx, left, right):
+            yield pctx.compute(100)
+            return left * 10 + right
+
+        a = yield ctx.async_(source)
+        b = yield then(ctx, a, add_one)
+        c = yield then(ctx, a, add_one)
+        d = yield dataflow(ctx, join, b, c)
+        return (yield ctx.wait(d))
+
+    value, _ = run(body)
+    assert value == 22

@@ -1,0 +1,80 @@
+"""Work-stealing deque semantics."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.runtime.policies import LaunchPolicy
+from repro.runtime.queues import TaskQueue
+from repro.runtime.task import Task
+
+
+def make_task(tid: int) -> Task:
+    return Task(tid, lambda ctx: None, (), LaunchPolicy.ASYNC, parent_tid=None, home_socket=0)
+
+
+def test_empty_queue():
+    q = TaskQueue(0)
+    assert len(q) == 0
+    assert q.pop_head() is None
+    assert q.steal_tail() is None
+
+
+def test_owner_lifo():
+    q = TaskQueue(0)
+    q.push_head(make_task(1))
+    q.push_head(make_task(2))
+    assert q.pop_head().tid == 2  # most recent first: depth-first execution
+    assert q.pop_head().tid == 1
+
+
+def test_thief_takes_oldest():
+    q = TaskQueue(0)
+    q.push_head(make_task(1))
+    q.push_head(make_task(2))
+    assert q.steal_tail().tid == 1
+
+
+def test_push_tail():
+    q = TaskQueue(0)
+    q.push_head(make_task(1))
+    q.push_tail(make_task(2))
+    assert q.pop_head().tid == 1
+    assert q.pop_head().tid == 2
+
+
+def test_stats():
+    q = TaskQueue(0)
+    q.push_head(make_task(1))
+    q.push_tail(make_task(2))
+    q.pop_head()
+    q.steal_tail()
+    assert q.stats.pushed == 2
+    assert q.stats.popped == 1
+    assert q.stats.stolen_from == 1
+
+
+@given(st.lists(st.sampled_from(["push_head", "push_tail", "pop", "steal"]), max_size=60))
+def test_property_no_lost_or_duplicated_tasks(ops):
+    """Every pushed task is removed exactly once across pops and steals."""
+    q = TaskQueue(0)
+    next_tid = [0]
+    pushed: set[int] = set()
+    removed: list[int] = []
+    for op in ops:
+        if op in ("push_head", "push_tail"):
+            task = make_task(next_tid[0])
+            next_tid[0] += 1
+            pushed.add(task.tid)
+            getattr(q, op)(task)
+        elif op == "pop":
+            task = q.pop_head()
+            if task is not None:
+                removed.append(task.tid)
+        else:
+            task = q.steal_tail()
+            if task is not None:
+                removed.append(task.tid)
+    while (task := q.pop_head()) is not None:
+        removed.append(task.tid)
+    assert sorted(removed) == sorted(pushed)
+    assert len(set(removed)) == len(removed)

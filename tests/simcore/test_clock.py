@@ -1,0 +1,58 @@
+"""Time-unit conversions."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simcore.clock import MS, NS_PER_S, US, from_us, ms, ns_to_s, ns_to_us, s, us
+
+
+def test_constants():
+    assert US == 1_000
+    assert MS == 1_000_000
+    assert NS_PER_S == 1_000_000_000
+
+
+def test_us():
+    assert us(1) == 1_000
+    assert us(2.5) == 2_500
+    assert us(0) == 0
+
+
+def test_ms():
+    assert ms(1) == 1_000_000
+    assert ms(0.001) == 1_000
+
+
+def test_s():
+    assert s(1) == NS_PER_S
+    assert s(0.5) == 500_000_000
+
+
+def test_from_us_alias():
+    assert from_us(3.7) == us(3.7)
+
+
+def test_rounding():
+    assert us(1.4999) == 1_500
+    assert us(0.0004) == 0
+
+
+def test_ns_to_us():
+    assert ns_to_us(1_500) == 1.5
+    assert ns_to_us(0) == 0.0
+
+
+def test_ns_to_s():
+    assert ns_to_s(NS_PER_S) == 1.0
+
+
+@given(st.floats(min_value=0, max_value=1e6, allow_nan=False))
+def test_round_trip_close(value):
+    assert abs(ns_to_us(us(value)) - value) <= 0.0005
+
+
+@given(st.integers(min_value=0, max_value=10**15))
+def test_integer_types(value):
+    assert isinstance(us(value), int)
+    assert isinstance(ms(value), int)
+    assert isinstance(s(value), int)

@@ -1,0 +1,162 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_benchmarks(capsys):
+    assert main(["list-benchmarks"]) == 0
+    out = capsys.readouterr().out
+    assert "fib" in out and "alignment" in out
+    assert len(out.strip().splitlines()) == 14
+
+
+def test_list_counters(capsys):
+    assert main(["list-counters"]) == 0
+    out = capsys.readouterr().out
+    assert "/threads/time/average" in out
+    assert "/papi/OFFCORE_REQUESTS:ALL_DATA_RD" in out
+
+
+def test_list_counters_pattern(capsys):
+    assert main(["list-counters", "--pattern", "/runtime/*"]) == 0
+    out = capsys.readouterr().out
+    assert "/runtime/uptime" in out
+    assert "/threads" not in out
+
+
+def test_list_counters_verbose(capsys):
+    assert main(["list-counters", "--pattern", "/threads/idle-rate", "--verbose"]) == 0
+    out = capsys.readouterr().out
+    assert "worker-thread#0" in out
+    assert "idle rate" in out.lower()
+
+
+def test_run_hpx(capsys):
+    code = main(["run", "fib", "--cores", "2", "--param", "n=10"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "verified=True" in out
+    assert "/threads{locality#0/total}/time/average" in out
+
+
+def test_run_std(capsys):
+    code = main(["run", "fib", "--runtime", "std", "--cores", "2", "--param", "n=10"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "verified=True" in out
+
+
+def test_run_abort_reports(capsys):
+    code = main(["run", "fib", "--runtime", "std", "--cores", "4", "--param", "n=19"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "ABORT" in out
+
+
+def test_run_explicit_counter(capsys):
+    main(
+        [
+            "run",
+            "fib",
+            "--param",
+            "n=9",
+            "--print-counter",
+            "/threads{locality#0/total}/count/cumulative",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert "/threads{locality#0/total}/count/cumulative" in out
+    assert "idle-rate" not in out
+
+
+def test_run_no_counters(capsys):
+    main(["run", "fib", "--param", "n=9", "--no-counters"])
+    out = capsys.readouterr().out
+    assert "counter,count,time,value" not in out
+
+
+def test_bad_param_format():
+    with pytest.raises(SystemExit):
+        main(["run", "fib", "--param", "n:10"])
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "linpack"])
+
+
+def test_figure_unknown():
+    with pytest.raises(SystemExit, match="unknown figure"):
+        main(["figure", "fig99"])
+
+
+def test_figure_small(capsys):
+    assert main(["figure", "fig3", "--samples", "1", "--cores-list", "1,2"]) == 0
+    out = capsys.readouterr().out
+    assert "strassen" in out
+
+
+def test_table5_single(capsys):
+    assert (
+        main(["table5", "--benchmarks", "fib", "--samples", "1", "--cores-list", "1,2"])
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "fib" in out and "very fine" in out
+
+
+def test_run_with_preset(capsys):
+    code = main(["run", "sort", "--preset", "small", "--no-counters"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "verified=True" in out
+
+
+def test_run_preset_with_param_override(capsys):
+    code = main(
+        ["run", "fib", "--preset", "small", "--param", "n=9", "--no-counters"]
+    )
+    assert code == 0
+
+
+def test_run_with_interval_query(capsys):
+    code = main(
+        [
+            "run",
+            "fib",
+            "--param",
+            "n=13",
+            "--print-counter",
+            "/threads{locality#0/total}/count/cumulative",
+            "--print-counter-interval",
+            "0.5",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    # Interval samples appear before the final summary line.
+    assert out.count("/threads{locality#0/total}/count/cumulative") > 2
+
+
+def test_run_with_interval_destination(tmp_path, capsys):
+    dest = tmp_path / "counters.csv"
+    code = main(
+        [
+            "run",
+            "fib",
+            "--param",
+            "n=13",
+            "--print-counter",
+            "/threads{locality#0/total}/count/cumulative",
+            "--print-counter-interval",
+            "0.5",
+            "--print-counter-destination",
+            str(dest),
+        ]
+    )
+    assert code == 0
+    lines = dest.read_text().strip().splitlines()
+    assert len(lines) >= 2
+    assert all(line.startswith("/threads") for line in lines)
