@@ -55,9 +55,7 @@ def test_hyperthreading_small_change(benchmark):
         print(f"  {key:15s} {t/1e6:8.3f} ms")
 
     fine_change = abs(times["fine ht-on"] - times["fine ht-off"]) / times["fine ht-off"]
-    compute_change = abs(
-        times["compute ht-on"] - times["compute ht-off"]
-    ) / times["compute ht-off"]
+    compute_change = abs(times["compute ht-on"] - times["compute ht-off"]) / times["compute ht-off"]
     # "Small change in performance" — well under the gains the core
     # counts themselves produce.
     assert fine_change < 0.20, f"fine-grain HT change {fine_change:.0%}"

@@ -18,7 +18,6 @@ isolation:
 
 from __future__ import annotations
 
-from dataclasses import replace
 
 from repro.runtime.config import HpxParams
 from repro.runtime.scheduler import HpxRuntime

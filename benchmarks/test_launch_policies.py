@@ -55,10 +55,7 @@ def test_launch_policy_comparison(benchmark):
     def measure():
         out: dict[str, dict[str, int]] = {}
         for runtime_cls, label in ((HpxRuntime, "hpx"), (StdRuntime, "std")):
-            out[label] = {
-                policy: _time_policy(runtime_cls, policy, cores=8)
-                for policy in POLICIES
-            }
+            out[label] = {policy: _time_policy(runtime_cls, policy, cores=8) for policy in POLICIES}
         return out
 
     times = run_once(benchmark, measure)

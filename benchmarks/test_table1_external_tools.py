@@ -33,9 +33,7 @@ def test_table1(benchmark):
     assert baseline_failures == {"fib", "health", "nqueens", "uts"}
 
     # TAU: dies everywhere except where thread counts are tiny.
-    tau_survivors = {
-        r.benchmark for r in rows if r.tau.outcome is ToolOutcome.COMPLETED
-    }
+    tau_survivors = {r.benchmark for r in rows if r.tau.outcome is ToolOutcome.COMPLETED}
     assert tau_survivors <= {"alignment"}
     for r in rows:
         if r.benchmark not in tau_survivors:
@@ -48,7 +46,5 @@ def test_table1(benchmark):
             assert overhead is not None and overhead > 200, (
                 f"{r.benchmark}: HPCToolkit overhead {overhead}% implausibly low"
             )
-    hpct_crashes = sum(
-        r.hpctoolkit.outcome is not ToolOutcome.COMPLETED for r in rows
-    )
+    hpct_crashes = sum(r.hpctoolkit.outcome is not ToolOutcome.COMPLETED for r in rows)
     assert hpct_crashes >= 4  # the thread-explosion benchmarks at least

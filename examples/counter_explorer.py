@@ -50,9 +50,16 @@ def main() -> None:
             "/threads{locality#0/total}/idle-rate",
         ],
     )
+    def show(values):
+        print("  " + format_counter_values(values).replace("\n", "\n  ") + "\n")
+
     query = PeriodicQuery(
-        active, engine=engine, runtime=runtime, interval_ns=us(2000), in_band=True,
-        sink=lambda values: print("  " + format_counter_values(values).replace("\n", "\n  ") + "\n"),
+        active,
+        engine=engine,
+        runtime=runtime,
+        interval_ns=us(2000),
+        in_band=True,
+        sink=show,
     )
     query.start()
 

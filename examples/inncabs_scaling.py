@@ -18,8 +18,7 @@ from repro.inncabs.suite import available_benchmarks
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("benchmark", nargs="?", default="strassen",
-                        choices=available_benchmarks())
+    parser.add_argument("benchmark", nargs="?", default="strassen", choices=available_benchmarks())
     parser.add_argument("--cores", default="1,2,4,8,10,16,20")
     parser.add_argument("--samples", type=int, default=1)
     args = parser.parse_args()

@@ -8,7 +8,7 @@ adaptation behaviour is fully inspectable after a run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.counters.manager import ActiveCounters

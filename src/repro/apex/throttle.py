@@ -35,9 +35,7 @@ class ConcurrencyThrottlePolicy:
     def _decide(self, sample: dict[str, float], _now: int) -> PolicyDecision | None:
         idle = sample.get(IDLE_RATE_COUNTER)
         if idle is None:
-            raise KeyError(
-                f"throttle policy needs {IDLE_RATE_COUNTER} in its counter set"
-            )
+            raise KeyError(f"throttle policy needs {IDLE_RATE_COUNTER} in its counter set")
         active = self.runtime.active_workers
         if idle > self.upper_idle and active > self.min_workers:
             self.runtime.set_active_workers(active - 1)

@@ -1,0 +1,99 @@
+"""Content-addressed result cache for campaign cells.
+
+One JSON file per cell under ``<root>/<key[:2]>/<key>.json`` where
+*key* is :func:`repro.campaign.spec.cell_cache_key`.  The payload
+embeds its own key and schema version, so a corrupt, truncated or
+stale entry is detected on load and treated as a miss (the cell is
+simply re-executed).  Writes are atomic (temp file + ``os.replace``),
+which is what makes interrupted campaigns resumable: every cell that
+finished before the interrupt is a cache hit on the next run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+#: Bump when the cached payload layout changes.
+CACHE_PAYLOAD_SCHEMA = 1
+
+DEFAULT_CACHE_DIR = Path("results") / "campaigns" / "cache"
+
+
+@dataclass
+class ResultCache:
+    """Filesystem-backed content-addressed store of cell results."""
+
+    root: Path
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalid: int = field(default=0)  # corrupt/mismatched entries seen
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    @classmethod
+    def default(cls) -> "ResultCache":
+        """A cache rooted at the conventional ``results/campaigns/cache``."""
+        return cls(DEFAULT_CACHE_DIR)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> dict[str, Any] | None:
+        """The cached result for *key*, or None on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+            self.invalid += 1
+            self.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != CACHE_PAYLOAD_SCHEMA
+            or payload.get("key") != key
+            or not isinstance(payload.get("result"), dict)
+        ):
+            self.invalid += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["result"]
+
+    def store(self, key: str, result: dict[str, Any]) -> None:
+        """Atomically persist *result* under *key*."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"schema": CACHE_PAYLOAD_SCHEMA, "key": key, "result": result}
+        handle = tempfile.NamedTemporaryFile(
+            "w",
+            encoding="utf-8",
+            dir=path.parent,
+            prefix=f".{key[:8]}.",
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -1,0 +1,223 @@
+"""Artifact diffing and the regression gate behind ``repro compare``.
+
+Two artifacts are compared point-by-point — one point per (benchmark,
+runtime, cores) — on median execution time, counter medians, and abort
+status.  A point fails the gate when
+
+- its median execution time grew by more than ``exec_time`` (relative),
+- it aborts in the current artifact but not in the baseline,
+- it exists in the baseline but not in the current artifact, or
+- a counter threshold is configured and any shared counter's median
+  moved by more than that fraction in either direction.
+
+``repro compare`` renders the report as a table and exits non-zero when
+any point fails — the CI bench-smoke job gates on exactly this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.campaign.artifact import CampaignArtifact
+from repro.experiments.harness import ScalingPoint
+
+PointKey = tuple[str, str, int]  # (benchmark, runtime, cores)
+
+# Point statuses; FAIL_STATUSES trip the gate.
+OK = "ok"
+IMPROVED = "improved"
+REGRESSION = "regression"
+COUNTER_REGRESSION = "counter-regression"
+ABORT_NEW = "abort-new"
+ABORT_FIXED = "abort-fixed"
+ABORT_BOTH = "abort-both"
+MISSING = "missing"
+NEW = "new"
+
+FAIL_STATUSES = frozenset({REGRESSION, COUNTER_REGRESSION, ABORT_NEW, MISSING})
+
+
+@dataclass(frozen=True)
+class CompareThresholds:
+    """Gate configuration (relative fractions, e.g. ``0.10`` = 10%)."""
+
+    exec_time: float = 0.05
+    #: None disables counter gating (counter drift is still reported).
+    counters: float | None = None
+
+
+@dataclass
+class PointDelta:
+    """Comparison outcome for one (benchmark, runtime, cores) point."""
+
+    benchmark: str
+    runtime: str
+    cores: int
+    status: str
+    baseline_ms: float | None = None
+    current_ms: float | None = None
+    exec_delta: float | None = None  # relative change, + is slower
+    worst_counter: str | None = None
+    worst_counter_delta: float | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.status in FAIL_STATUSES
+
+    @property
+    def key(self) -> PointKey:
+        return (self.benchmark, self.runtime, self.cores)
+
+
+@dataclass
+class CompareReport:
+    """Every point delta plus the gate verdict."""
+
+    thresholds: CompareThresholds
+    deltas: list[PointDelta] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not any(d.failed for d in self.deltas)
+
+    @property
+    def failures(self) -> list[PointDelta]:
+        return [d for d in self.deltas if d.failed]
+
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+
+def _index_points(artifact: CampaignArtifact) -> dict[PointKey, ScalingPoint]:
+    points: dict[PointKey, ScalingPoint] = {}
+    for (benchmark, runtime), curve in artifact.curves().items():
+        for p in curve.points:
+            points[(benchmark, runtime, p.cores)] = p
+    return points
+
+
+def _worst_counter_delta(base: ScalingPoint, cur: ScalingPoint) -> tuple[str | None, float | None]:
+    """Largest relative counter-median move over the shared counters."""
+    worst_name, worst = None, None
+    for name, base_value in base.counters.items():
+        if name not in cur.counters:
+            continue
+        if base_value == 0:
+            delta = 0.0 if cur.counters[name] == 0 else float("inf")
+        else:
+            delta = (cur.counters[name] - base_value) / abs(base_value)
+        if worst is None or abs(delta) > abs(worst):
+            worst_name, worst = name, delta
+    return worst_name, worst
+
+
+def compare_points(
+    base: ScalingPoint, cur: ScalingPoint, key: PointKey, thresholds: CompareThresholds
+) -> PointDelta:
+    """Compare one point of the matrix under *thresholds*."""
+    benchmark, runtime, cores = key
+    delta = PointDelta(benchmark=benchmark, runtime=runtime, cores=cores, status=OK)
+    if base.aborted and cur.aborted:
+        delta.status = ABORT_BOTH
+        return delta
+    if cur.aborted:
+        delta.status = ABORT_NEW
+        delta.baseline_ms = base.median_exec_ms
+        return delta
+    if base.aborted:
+        delta.status = ABORT_FIXED
+        delta.current_ms = cur.median_exec_ms
+        return delta
+    delta.baseline_ms = base.median_exec_ms
+    delta.current_ms = cur.median_exec_ms
+    if base.median_exec_ns > 0:
+        delta.exec_delta = (cur.median_exec_ns - base.median_exec_ns) / base.median_exec_ns
+    delta.worst_counter, delta.worst_counter_delta = _worst_counter_delta(base, cur)
+    if delta.exec_delta is not None and delta.exec_delta > thresholds.exec_time:
+        delta.status = REGRESSION
+    elif (
+        thresholds.counters is not None
+        and delta.worst_counter_delta is not None
+        and abs(delta.worst_counter_delta) > thresholds.counters
+    ):
+        delta.status = COUNTER_REGRESSION
+    elif delta.exec_delta is not None and delta.exec_delta < -thresholds.exec_time:
+        delta.status = IMPROVED
+    return delta
+
+
+def compare_artifacts(
+    baseline: CampaignArtifact,
+    current: CampaignArtifact,
+    thresholds: CompareThresholds | None = None,
+) -> CompareReport:
+    """Diff *current* against *baseline* point-by-point."""
+    thresholds = thresholds or CompareThresholds()
+    base_points = _index_points(baseline)
+    cur_points = _index_points(current)
+    report = CompareReport(thresholds=thresholds)
+    for key in sorted(set(base_points) | set(cur_points)):
+        benchmark, runtime, cores = key
+        if key not in cur_points:
+            base = base_points[key]
+            report.deltas.append(
+                PointDelta(
+                    benchmark=benchmark,
+                    runtime=runtime,
+                    cores=cores,
+                    status=MISSING,
+                    baseline_ms=None if base.aborted else base.median_exec_ms,
+                )
+            )
+        elif key not in base_points:
+            cur = cur_points[key]
+            report.deltas.append(
+                PointDelta(
+                    benchmark=benchmark,
+                    runtime=runtime,
+                    cores=cores,
+                    status=NEW,
+                    current_ms=None if cur.aborted else cur.median_exec_ms,
+                )
+            )
+        else:
+            report.deltas.append(compare_points(base_points[key], cur_points[key], key, thresholds))
+    return report
+
+
+def _fmt_ms(value: float | None) -> str:
+    return "-" if value is None else f"{value:.3f}"
+
+
+def _fmt_pct(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value == float("inf"):
+        return "+inf"
+    return f"{value * 100:+.1f}%"
+
+
+def render_compare(report: CompareReport, *, only_failures: bool = False) -> str:
+    """Plain-text table of a :class:`CompareReport`."""
+    rows: Iterable[PointDelta] = report.failures if only_failures else report.deltas
+    lines = [
+        f"{'benchmark':11s} {'rt':4s} {'cores':>5s} {'base ms':>10s} {'cur ms':>10s} "
+        f"{'exec Δ':>8s} {'counter Δ':>10s}  status"
+    ]
+    for d in rows:
+        lines.append(
+            f"{d.benchmark:11s} {d.runtime:4s} {d.cores:5d} {_fmt_ms(d.baseline_ms):>10s} "
+            f"{_fmt_ms(d.current_ms):>10s} {_fmt_pct(d.exec_delta):>8s} "
+            f"{_fmt_pct(d.worst_counter_delta):>10s}  {d.status}"
+        )
+    failed = report.failures
+    verdict = (
+        "PASS: no point regressed beyond "
+        f"{report.thresholds.exec_time * 100:.0f}% (exec time)"
+        if not failed
+        else f"FAIL: {len(failed)} point(s) regressed: "
+        + ", ".join(f"{d.benchmark}/{d.runtime}@{d.cores} [{d.status}]" for d in failed)
+    )
+    lines.append(verdict)
+    return "\n".join(lines)

@@ -1,0 +1,230 @@
+"""Campaign description, cell enumeration, and stable cache keys.
+
+A :class:`CampaignSpec` is the declarative form of the paper's
+experiment matrix: which benchmarks, which runtimes, which core counts,
+how many samples, and every parameter that influences a run (machine
+model, runtime cost models, benchmark inputs, root seed).  The spec is
+the single source of truth from which
+
+- the engine enumerates :class:`Cell`\\ s (one simulation run each),
+- the cache derives a content-addressed key per cell, and
+- the artifact records how its data was produced.
+
+Cache keys are a SHA-256 over a canonical JSON encoding of everything
+that determines a cell's result — including the package version, so a
+code release invalidates cached results — and deliberately exclude
+matrix shape (which benchmarks/core counts ran alongside), so growing
+a campaign reuses every cell already computed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro._version import __version__
+from repro.experiments.config import DEFAULT_SAMPLES, QUICK_CORE_COUNTS, ExperimentConfig
+from repro.kernel.config import StdParams
+from repro.runtime.config import HpxParams
+from repro.simcore.machine import MachineSpec
+
+#: Bump to invalidate every cached cell (cache layout / semantics change).
+CACHE_KEY_VERSION = 1
+
+RUNTIMES = ("hpx", "std")
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON encoding used for hashing and artifacts."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def stable_hash(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of *obj*."""
+    return hashlib.sha256(canonical_json(obj).encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One cell of the matrix: a single simulation run."""
+
+    benchmark: str
+    runtime: str  # "hpx" | "std"
+    cores: int
+    sample: int  # sample index within the point
+    seed: int  # fully-resolved root seed for this run
+
+    def label(self) -> str:
+        return f"{self.benchmark}/{self.runtime} cores={self.cores} sample={self.sample}"
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything a campaign needs to be reproducible."""
+
+    benchmarks: tuple[str, ...]
+    runtimes: tuple[str, ...] = RUNTIMES
+    core_counts: tuple[int, ...] = QUICK_CORE_COUNTS
+    samples: int = DEFAULT_SAMPLES
+    seed: int = 20160523
+    preset: str = "default"
+    #: Extra benchmark parameters overlaid on the preset, for every benchmark.
+    params: Mapping[str, Any] = field(default_factory=dict)
+    machine: MachineSpec = field(default_factory=MachineSpec)
+    hpx: HpxParams = field(default_factory=HpxParams)
+    std: StdParams | None = None  # None: the scaled-budget default
+    collect_counters: bool = True
+    counter_specs: tuple[str, ...] | None = None  # None: the paper's set
+
+    def __post_init__(self) -> None:
+        if self.std is None:
+            from repro.experiments.config import default_std_params
+
+            object.__setattr__(self, "std", default_std_params())
+        for runtime in self.runtimes:
+            if runtime not in RUNTIMES:
+                raise ValueError(f"unknown runtime {runtime!r}; expected one of {RUNTIMES}")
+        if self.samples < 1:
+            raise ValueError("samples must be >= 1")
+
+    @classmethod
+    def from_config(
+        cls,
+        config: ExperimentConfig,
+        *,
+        benchmarks: Sequence[str],
+        runtimes: Sequence[str] = RUNTIMES,
+        core_counts: Sequence[int] | None = None,
+        samples: int | None = None,
+        params: Mapping[str, Any] | None = None,
+        preset: str = "default",
+        collect_counters: bool = True,
+        counter_specs: Sequence[str] | None = None,
+    ) -> "CampaignSpec":
+        """Build a spec from an :class:`ExperimentConfig` (the harness path)."""
+        return cls(
+            benchmarks=tuple(benchmarks),
+            runtimes=tuple(runtimes),
+            core_counts=tuple(core_counts if core_counts is not None else config.core_counts),
+            samples=samples if samples is not None else config.samples,
+            seed=config.seed,
+            preset=preset,
+            params=dict(params or {}),
+            machine=config.machine,
+            hpx=config.hpx,
+            std=config.std,
+            collect_counters=collect_counters,
+            counter_specs=tuple(counter_specs) if counter_specs is not None else None,
+        )
+
+    def experiment_config(self, cell: Cell) -> ExperimentConfig:
+        """The single-run :class:`ExperimentConfig` behind *cell*."""
+        assert self.std is not None
+        return ExperimentConfig(
+            machine=self.machine,
+            hpx=self.hpx,
+            std=self.std,
+            samples=1,
+            core_counts=(cell.cores,),
+            seed=cell.seed,
+        )
+
+    def cells(self) -> Iterator[Cell]:
+        """Enumerate the matrix in canonical (deterministic) order.
+
+        Seeds vary per sample exactly as the serial harness always did
+        (``seed + sample``), so campaign results are bit-compatible
+        with historical serial runs.
+        """
+        for benchmark in self.benchmarks:
+            for runtime in self.runtimes:
+                for cores in self.core_counts:
+                    for sample in range(self.samples):
+                        yield Cell(
+                            benchmark=benchmark,
+                            runtime=runtime,
+                            cores=cores,
+                            sample=sample,
+                            seed=self.seed + sample,
+                        )
+
+    def cell_params(self, cell: Cell) -> dict[str, Any]:
+        """Fully-resolved benchmark parameters for *cell* (seed last)."""
+        from repro.inncabs.presets import preset_params
+
+        params = preset_params(cell.benchmark, self.preset)
+        params.update(self.params)
+        params["seed"] = cell.seed
+        return params
+
+    def to_json_dict(self) -> dict[str, Any]:
+        assert self.std is not None
+        return {
+            "benchmarks": list(self.benchmarks),
+            "runtimes": list(self.runtimes),
+            "core_counts": list(self.core_counts),
+            "samples": self.samples,
+            "seed": self.seed,
+            "preset": self.preset,
+            "params": dict(self.params),
+            "machine": asdict(self.machine),
+            "hpx": asdict(self.hpx),
+            "std": asdict(self.std),
+            "collect_counters": self.collect_counters,
+            "counter_specs": list(self.counter_specs) if self.counter_specs else None,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        return cls(
+            benchmarks=tuple(data["benchmarks"]),
+            runtimes=tuple(data["runtimes"]),
+            core_counts=tuple(data["core_counts"]),
+            samples=data["samples"],
+            seed=data["seed"],
+            preset=data["preset"],
+            params=dict(data["params"]),
+            machine=MachineSpec(**data["machine"]),
+            hpx=HpxParams(**data["hpx"]),
+            std=StdParams(**data["std"]),
+            collect_counters=data["collect_counters"],
+            counter_specs=(
+                tuple(data["counter_specs"]) if data["counter_specs"] is not None else None
+            ),
+        )
+
+    def spec_id(self) -> str:
+        """Short stable identifier for the whole campaign (file naming)."""
+        return stable_hash({"version": __version__, "spec": self.to_json_dict()})[:12]
+
+
+def cell_cache_key(spec: CampaignSpec, cell: Cell) -> str:
+    """Content-addressed cache key for one cell.
+
+    Includes every input that determines the cell's result: the
+    resolved benchmark parameters, the machine model, the cost model of
+    the *cell's own* runtime (an ``hpx`` cell is not invalidated by a
+    ``std::async`` recalibration and vice versa), the counter
+    configuration (HPX only — counters are an HPX capability), the
+    package version, and :data:`CACHE_KEY_VERSION`.
+    """
+    assert spec.std is not None
+    payload: dict[str, Any] = {
+        "cache_key_version": CACHE_KEY_VERSION,
+        "code_version": __version__,
+        "benchmark": cell.benchmark,
+        "runtime": cell.runtime,
+        "cores": cell.cores,
+        "seed": cell.seed,
+        "params": spec.cell_params(cell),
+        "machine": asdict(spec.machine),
+    }
+    if cell.runtime == "hpx":
+        payload["hpx"] = asdict(spec.hpx)
+        payload["collect_counters"] = spec.collect_counters
+        payload["counter_specs"] = list(spec.counter_specs) if spec.counter_specs else None
+    else:
+        payload["std"] = asdict(spec.std)
+    return stable_hash(payload)

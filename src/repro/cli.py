@@ -11,11 +11,21 @@ periodically query specific counters"):
   — one run with counters printed CSV-style;
 - ``repro table1`` / ``repro table5`` — regenerate the paper's tables;
 - ``repro figure fig5`` — regenerate one figure's series.
+
+Campaign layer (the parallel experiment engine):
+
+- ``repro campaign --benchmarks fib sort --cores-list 1,2,4 --jobs 8``
+  — run a (benchmark, runtime, cores, seed) matrix over a process
+  pool with content-addressed caching, writing a versioned JSON
+  artifact under ``results/campaigns/``;
+- ``repro compare BASELINE CURRENT --threshold 0.10`` — diff two
+  artifacts and exit non-zero on regression (the CI gate).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Any, Sequence
 
@@ -66,9 +76,7 @@ def _parse_params(pairs: Sequence[str]) -> dict[str, Any]:
 def cmd_list_benchmarks(_args: argparse.Namespace) -> int:
     for name in available_benchmarks():
         info = get_benchmark(name).info
-        print(
-            f"{name:11s} {info.structure:21s} {info.paper_granularity:18s} {info.description}"
-        )
+        print(f"{name:11s} {info.structure:21s} {info.paper_granularity:18s} {info.description}")
     return 0
 
 
@@ -89,9 +97,7 @@ def cmd_list_counters(args: argparse.Namespace) -> int:
             for inst_name, inst_index in entry.instances(registry.env):
                 suffix = "" if inst_index is None else f"#{inst_index}"
                 object_name, counter = info.type_name[1:].split("/", 1)
-                print(
-                    f"      /{object_name}{{locality#0/{inst_name}{suffix}}}/{counter}"
-                )
+                print(f"      /{object_name}{{locality#0/{inst_name}{suffix}}}/{counter}")
     return 0
 
 
@@ -108,9 +114,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.print_counter_interval is not None:
         if args.print_counter_destination:
             destination = open(args.print_counter_destination, "w")
-            sink = lambda rows: print(format_counter_values(rows), file=destination)
-        else:
-            sink = lambda rows: print(format_counter_values(rows))
+
+        def sink(rows, _dest=destination):
+            print(format_counter_values(rows), file=_dest)
     try:
         result = run_benchmark(
             args.benchmark,
@@ -145,13 +151,87 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0 if result.verified else 1
 
 
+def _cores_list(text: str) -> tuple[int, ...]:
+    """argparse type for ``--cores-list``: "1,2,4" -> (1, 2, 4)."""
+    try:
+        cores = tuple(int(c) for c in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected comma-separated integers, got {text!r}")
+    if not cores or any(c < 1 for c in cores):
+        raise argparse.ArgumentTypeError(f"core counts must be positive, got {text!r}")
+    return cores
+
+
 def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
     kwargs: dict[str, Any] = {}
     if getattr(args, "samples", None):
         kwargs["samples"] = args.samples
     if getattr(args, "cores_list", None):
-        kwargs["core_counts"] = tuple(int(c) for c in args.cores_list.split(","))
+        kwargs["core_counts"] = args.cores_list
     return ExperimentConfig(**kwargs)
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.campaign.cache import ResultCache
+    from repro.campaign.engine import run_campaign
+    from repro.campaign.spec import CampaignSpec
+    from repro.experiments.config import QUICK_CORE_COUNTS
+
+    core_counts = args.cores_list if args.cores_list else QUICK_CORE_COUNTS
+    spec = CampaignSpec(
+        benchmarks=tuple(args.benchmarks or available_benchmarks()),
+        runtimes=tuple(args.runtimes),
+        core_counts=core_counts,
+        samples=args.samples,
+        seed=args.seed,
+        preset=args.preset,
+        params=_parse_params(args.param),
+        collect_counters=not args.no_counters,
+    )
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(Path(args.cache_dir)) if args.cache_dir else ResultCache.default()
+    progress = None
+    if args.verbose:
+        total = sum(1 for _ in spec.cells())
+        seen = [0]
+
+        def show_progress(cell, result, from_cache):
+            seen[0] += 1
+            source = "cache" if from_cache else "run"
+            state = "ABORT" if result["aborted"] else f"{result['exec_time_ns'] / 1e6:.3f} ms"
+            print(f"[{seen[0]}/{total}] {cell.label()}: {state} ({source})", file=sys.stderr)
+
+        progress = show_progress
+
+    run = run_campaign(spec, jobs=args.jobs, cache=cache, progress=progress)
+    out = Path(args.out) if args.out else Path("results/campaigns") / f"{spec.spec_id()}.json"
+    run.artifact.save(out)
+    s = run.stats
+    print(
+        f"campaign {spec.spec_id()}: {s.total} cells | cache hits {s.cache_hits} "
+        f"({s.hit_rate:.0%}) | executed {s.executed} | aborted {s.aborted}"
+    )
+    print(f"wrote {out}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.campaign.artifact import CampaignArtifact
+    from repro.campaign.compare import CompareThresholds, compare_artifacts, render_compare
+
+    try:
+        baseline = CampaignArtifact.load(args.baseline)
+        current = CampaignArtifact.load(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: cannot load artifact: {exc}", file=sys.stderr)
+        return 2
+    thresholds = CompareThresholds(exec_time=args.threshold, counters=args.counter_threshold)
+    report = compare_artifacts(baseline, current, thresholds)
+    print(render_compare(report, only_failures=args.only_failures))
+    return report.exit_code()
 
 
 def cmd_table1(args: argparse.Namespace) -> int:
@@ -162,20 +242,26 @@ def cmd_table1(args: argparse.Namespace) -> int:
 
 def cmd_table5(args: argparse.Namespace) -> int:
     config = _experiment_config(args)
-    rows = table5(benchmarks=args.benchmarks or None, config=config)
+    rows = table5(benchmarks=args.benchmarks or None, config=config, jobs=args.jobs)
     print(render_table5(rows))
     return 0
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
     config = _experiment_config(args)
+    artifact = None
+    if args.artifact is not None:
+        from repro.campaign.artifact import CampaignArtifact
+
+        artifact = CampaignArtifact.load(args.artifact)
+    kwargs: dict[str, Any] = {"config": config, "artifact": artifact, "jobs": args.jobs}
     fig = args.figure.lower()
     if fig in EXEC_TIME_FIGURES:
-        print(render_execution_time_figure(execution_time_figure(fig, config=config)))
+        print(render_execution_time_figure(execution_time_figure(fig, **kwargs)))
     elif fig in OVERHEAD_FIGURES:
-        print(render_overhead_figure(overhead_figure(fig, config=config)))
+        print(render_overhead_figure(overhead_figure(fig, **kwargs)))
     elif fig in BANDWIDTH_FIGURES:
-        print(render_bandwidth_figure(bandwidth_figure(fig, config=config)))
+        print(render_bandwidth_figure(bandwidth_figure(fig, **kwargs)))
     else:
         known = sorted({**EXEC_TIME_FIGURES, **OVERHEAD_FIGURES, **BANDWIDTH_FIGURES})
         raise SystemExit(f"unknown figure {args.figure!r}; known: {', '.join(known)}")
@@ -234,6 +320,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(fn=cmd_run)
 
+    p = sub.add_parser("campaign", help="run an experiment matrix over a process pool")
+    p.add_argument(
+        "--benchmarks",
+        nargs="*",
+        default=None,
+        choices=available_benchmarks(),
+        help="benchmarks to include (default: all fourteen)",
+    )
+    p.add_argument(
+        "--runtimes",
+        nargs="+",
+        default=["hpx", "std"],
+        choices=("hpx", "std"),
+        help="runtimes to include (default: both)",
+    )
+    p.add_argument(
+        "--cores-list", type=_cores_list, default=None, help="comma-separated core counts"
+    )
+    p.add_argument("--samples", type=int, default=3, help="samples per cell group")
+    p.add_argument("--seed", type=int, default=20160523, help="root seed (paper default)")
+    p.add_argument("--preset", choices=("small", "default", "large"), default="default")
+    p.add_argument("--param", action="append", default=[], metavar="KEY=VALUE")
+    p.add_argument("--jobs", type=int, default=1, help="worker processes (1 = serial)")
+    p.add_argument("--out", default=None, metavar="FILE", help="artifact path (JSON)")
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result cache root (default: results/campaigns/cache)",
+    )
+    p.add_argument("--no-cache", action="store_true", help="always execute every cell")
+    p.add_argument("--no-counters", action="store_true", help="disable instrumentation")
+    p.add_argument("--verbose", action="store_true", help="per-cell progress on stderr")
+    p.set_defaults(fn=cmd_campaign)
+
+    p = sub.add_parser("compare", help="diff two campaign artifacts (regression gate)")
+    p.add_argument("baseline", help="baseline artifact (JSON)")
+    p.add_argument("current", help="current artifact (JSON)")
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        help="relative median-exec-time regression tolerance (default 0.05)",
+    )
+    p.add_argument(
+        "--counter-threshold",
+        type=float,
+        default=None,
+        help="also gate on counter-median drift beyond this fraction",
+    )
+    p.add_argument("--only-failures", action="store_true", help="table shows failures only")
+    p.set_defaults(fn=cmd_compare)
+
     p = sub.add_parser("table1", help="regenerate Table I (external tools)")
     p.add_argument("--benchmarks", nargs="*", default=None)
     p.add_argument("--cores", type=int, default=20)
@@ -242,20 +381,37 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("table5", help="regenerate Table V (classification)")
     p.add_argument("--benchmarks", nargs="*", default=None)
     p.add_argument("--samples", type=int, default=None)
-    p.add_argument("--cores-list", default=None, help="comma-separated core counts")
+    p.add_argument(
+        "--cores-list", type=_cores_list, default=None, help="comma-separated core counts"
+    )
+    p.add_argument("--jobs", type=int, default=1, help="worker processes (1 = serial)")
     p.set_defaults(fn=cmd_table5)
 
     p = sub.add_parser("figure", help="regenerate one figure's series")
     p.add_argument("figure", help="fig1..fig14")
     p.add_argument("--samples", type=int, default=None)
-    p.add_argument("--cores-list", default=None, help="comma-separated core counts")
+    p.add_argument(
+        "--cores-list", type=_cores_list, default=None, help="comma-separated core counts"
+    )
+    p.add_argument("--jobs", type=int, default=1, help="worker processes (1 = serial)")
+    p.add_argument(
+        "--artifact",
+        default=None,
+        metavar="FILE",
+        help="read curves from a campaign artifact instead of running",
+    )
     p.set_defaults(fn=cmd_figure)
 
-    p = sub.add_parser(
-        "generate", help="regenerate every table and figure into a directory"
-    )
+    p = sub.add_parser("generate", help="regenerate every table and figure into a directory")
     p.add_argument("outdir", nargs="?", default="results")
     p.add_argument("--samples", type=int, default=1)
+    p.add_argument("--jobs", type=int, default=1, help="worker processes (1 = serial)")
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="campaign result cache to reuse across invocations",
+    )
     p.set_defaults(fn=cmd_generate)
 
     return parser
@@ -266,7 +422,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
     from repro.experiments.generate import generate_all
 
-    generate_all(Path(args.outdir), samples=args.samples)
+    generate_all(Path(args.outdir), samples=args.samples, jobs=args.jobs, cache_dir=args.cache_dir)
     print(f"wrote results to {args.outdir}/")
     return 0
 

@@ -18,7 +18,7 @@ reports (≤10 % software, ≤16 % PAPI for very fine tasks).
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.counters.names import CounterName

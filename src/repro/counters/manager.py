@@ -83,9 +83,7 @@ class ActiveCounters:
 
     def evaluate_dict(self, *, reset: bool = False) -> dict[str, float]:
         """{counter name: value} for the current evaluation."""
-        return {
-            str(c.name): c.get_counter_value(reset=reset).value for c in self.counters
-        }
+        return {str(c.name): c.get_counter_value(reset=reset).value for c in self.counters}
 
 
 def format_counter_values(values: Iterable[CounterValue]) -> str:

@@ -152,9 +152,7 @@ def parse_counter_name(text: str) -> CounterName:
         else:
             imatch = _INSTANCE_RE.match(instance)
             if not imatch:
-                raise CounterNameError(
-                    f"malformed counter instance: {instance!r} in {text!r}"
-                )
+                raise CounterNameError(f"malformed counter instance: {instance!r} in {text!r}")
             parent = imatch.group("parent")
             pidx = imatch.group("pidx")
             parent_index = None if pidx == "*" else int(pidx)

@@ -53,9 +53,7 @@ def _make_factory(event: PapiEvent):
             if index is None or not 0 <= index < runtime.num_workers:
                 raise ValueError(f"bad worker-thread index in {name}")
             core_index = runtime.workers[index].core_index
-            return MonotonicCounter(
-                name, info, env, lambda: papi.read(event, core_index)
-            )
+            return MonotonicCounter(name, info, env, lambda: papi.read(event, core_index))
         raise ValueError(f"unknown instance {name.instance_name!r} in {name}")
 
     return factory

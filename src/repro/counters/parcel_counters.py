@@ -25,9 +25,7 @@ def _total_only(env: CounterEnvironment) -> list[tuple[str, int | None]]:
     return [("total", None)]
 
 
-def register_distributed_counters(
-    registry: CounterRegistry, locality: Any, system: Any
-) -> None:
+def register_distributed_counters(registry: CounterRegistry, locality: Any, system: Any) -> None:
     """Register /parcels and /agas counter types for one locality."""
     stats = locality.parcelport.stats
     agas_stats = system.agas.stats

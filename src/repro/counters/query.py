@@ -12,7 +12,7 @@ This is what the counter-overhead experiment measures.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Sequence
+from typing import Any, Callable
 
 from repro.counters.manager import ActiveCounters
 from repro.counters.types import CounterValue

@@ -15,7 +15,7 @@ top of other registered counters.
 from __future__ import annotations
 
 import fnmatch
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from repro.counters.aggregating import DEFAULT_WINDOW, StatisticsCounter
@@ -151,9 +151,7 @@ class CounterRegistry:
 
     def _create_statistics(self, name: CounterName) -> StatisticsCounter:
         if not name.embedded_instance:
-            raise CounterNameError(
-                f"statistics counter needs an embedded counter instance: {name}"
-            )
+            raise CounterNameError(f"statistics counter needs an embedded counter instance: {name}")
         underlying = self.create_counter(name.embedded_instance)
         window = DEFAULT_WINDOW
         if name.parameters:

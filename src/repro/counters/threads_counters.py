@@ -68,9 +68,7 @@ class IdleRateCounter(PerformanceCounter):
         self._wall_base = self.env.engine.now
 
 
-def _scoped(
-    name: CounterName, env: CounterEnvironment
-) -> tuple[Callable[[], Any], Any]:
+def _scoped(name: CounterName, env: CounterEnvironment) -> tuple[Callable[[], Any], Any]:
     """Return (stats_getter, runtime) for the instance *name* addresses.
 
     ``total`` reads the thread-manager totals; ``worker-thread#N`` reads
@@ -309,9 +307,7 @@ def register_threads_counters(registry: CounterRegistry) -> None:
         index = name.instance_index
         if index is None or not 0 <= index < runtime.num_workers:
             raise ValueError(f"bad worker-thread index in {name}")
-        return MonotonicCounter(
-            name, info, env, lambda: runtime.workers[index].stats.steals_ok
-        )
+        return MonotonicCounter(name, info, env, lambda: runtime.workers[index].stats.steals_ok)
 
     entry(
         "count/stolen",
@@ -336,9 +332,7 @@ def register_threads_counters(registry: CounterRegistry) -> None:
         index = name.instance_index
         if index is None or not 0 <= index < runtime.num_workers:
             raise ValueError(f"bad worker-thread index in {name}")
-        return IdleRateCounter(
-            name, info, env, lambda: runtime.workers[index].stats.busy_ns, 1
-        )
+        return IdleRateCounter(name, info, env, lambda: runtime.workers[index].stats.busy_ns, 1)
 
     entry(
         "idle-rate",

@@ -12,7 +12,7 @@ hits/misses) — one of the paper's four counter groups.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 

@@ -10,7 +10,7 @@ result parcels travel back the same way.  Transit time = serialization
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 DEFAULT_PARCEL_OVERHEAD_BYTES = 512

@@ -13,11 +13,11 @@ parcel) — the capability Section IV highlights.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Sequence
+from typing import Any, Callable
 
 from repro.counters.base import CounterEnvironment
 from repro.counters.registry import CounterRegistry, build_default_registry
-from repro.distributed.agas import AgasCache, AgasEntry, AgasService
+from repro.distributed.agas import AgasCache, AgasService
 from repro.distributed.parcel import NetworkParams, Parcel, Parcelport
 from repro.papi.hw import PapiSubstrate
 from repro.runtime.config import HpxParams
@@ -44,9 +44,7 @@ class Locality:
     ) -> None:
         self.id = locality_id
         self.machine = Machine(machine_spec)
-        self.runtime = HpxRuntime(
-            engine, self.machine, num_workers=cores, params=hpx_params
-        )
+        self.runtime = HpxRuntime(engine, self.machine, num_workers=cores, params=hpx_params)
         self.runtime.locality_id = locality_id
         self.parcelport = Parcelport(locality_id, engine, network)
         self.agas_cache = AgasCache(agas)
@@ -94,9 +92,7 @@ class DistributedSystem:
         ]
         ports = {loc.id: loc.parcelport for loc in self.localities}
         for loc in self.localities:
-            loc.parcelport.connect(
-                ports, lambda parcel, loc=loc: self._deliver(loc, parcel)
-            )
+            loc.parcelport.connect(ports, lambda parcel, loc=loc: self._deliver(loc, parcel))
         from repro.counters.parcel_counters import register_distributed_counters
 
         for loc in self.localities:
@@ -152,9 +148,7 @@ class DistributedSystem:
 
             inner.on_ready(send_back)
 
-        self.localities[source].parcelport.send(
-            dest, remote_entry, (), payload_bytes=payload_bytes
-        )
+        self.localities[source].parcelport.send(dest, remote_entry, (), payload_bytes=payload_bytes)
         # The outbound parcel's action is invoked at delivery with the
         # parcel itself; mark it so _deliver can distinguish.
         return result

@@ -14,7 +14,12 @@ One module per concern:
 """
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.harness import ScalingCurve, ScalingPoint, run_strong_scaling
+from repro.experiments.harness import (
+    ScalingCurve,
+    ScalingPoint,
+    aggregate_point,
+    run_strong_scaling,
+)
 from repro.experiments.runner import RunResult, run_benchmark
 
 __all__ = [
@@ -22,6 +27,7 @@ __all__ = [
     "RunResult",
     "ScalingCurve",
     "ScalingPoint",
+    "aggregate_point",
     "run_benchmark",
     "run_strong_scaling",
 ]

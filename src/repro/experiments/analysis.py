@@ -66,9 +66,7 @@ def knee(curve: ScalingCurve, tolerance: float = 0.03) -> int | None:
 def analyze(curve: ScalingCurve) -> ScalingAnalysis:
     """Full summary of one curve."""
     live = [p for p in curve.points if not p.aborted]
-    speedups = {
-        p.cores: s for p in live if (s := curve.speedup(p.cores)) is not None
-    }
+    speedups = {p.cores: s for p in live if (s := curve.speedup(p.cores)) is not None}
     if not speedups:
         return ScalingAnalysis(
             benchmark=curve.benchmark,

@@ -11,16 +11,27 @@
 
 Each generator returns plain dataclasses of series so callers (benches,
 CLI, notebooks) can print or plot without re-running.
+
+Every generator accepts an ``artifact`` (a
+:class:`~repro.campaign.artifact.CampaignArtifact`): when given, the
+curves are read from the artifact's cached cells instead of re-running
+the simulations, so a figure regenerates in milliseconds from a
+campaign file.  Without an artifact the curves still flow through the
+same campaign engine via :func:`run_strong_scaling` (``jobs`` fans the
+matrix out over a process pool).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 from repro.experiments.config import PAPI_COUNTERS, ExperimentConfig
 from repro.experiments.harness import ScalingCurve, run_strong_scaling
 from repro.model.work import CACHE_LINE
+
+if TYPE_CHECKING:
+    from repro.campaign.artifact import CampaignArtifact
 
 #: benchmark behind each execution-time figure
 EXEC_TIME_FIGURES: dict[str, str] = {
@@ -115,6 +126,31 @@ class BandwidthFigure:
         return list(zip(self.cores, self.bandwidth_gbs))
 
 
+def _curve(
+    benchmark: str,
+    runtime: str,
+    *,
+    artifact: "CampaignArtifact | None",
+    config: ExperimentConfig | None,
+    params: Mapping[str, Any] | None,
+    core_counts: Sequence[int] | None,
+    samples: int | None,
+    jobs: int,
+) -> ScalingCurve:
+    """One curve, from a campaign artifact or a (campaign-backed) run."""
+    if artifact is not None:
+        return artifact.curve(benchmark, runtime)
+    return run_strong_scaling(
+        benchmark,
+        runtime,
+        config=config,
+        params=params,
+        core_counts=core_counts,
+        samples=samples,
+        jobs=jobs,
+    )
+
+
 def execution_time_figure(
     figure: str,
     *,
@@ -122,15 +158,21 @@ def execution_time_figure(
     params: Mapping[str, Any] | None = None,
     core_counts: Sequence[int] | None = None,
     samples: int | None = None,
+    artifact: "CampaignArtifact | None" = None,
+    jobs: int = 1,
 ) -> ExecutionTimeFigure:
     """Regenerate one of Figures 1-7."""
     benchmark = _lookup(EXEC_TIME_FIGURES, figure)
-    hpx = run_strong_scaling(
-        benchmark, "hpx", config=config, params=params, core_counts=core_counts, samples=samples
+    kwargs = dict(
+        artifact=artifact,
+        config=config,
+        params=params,
+        core_counts=core_counts,
+        samples=samples,
+        jobs=jobs,
     )
-    std = run_strong_scaling(
-        benchmark, "std", config=config, params=params, core_counts=core_counts, samples=samples
-    )
+    hpx = _curve(benchmark, "hpx", **kwargs)
+    std = _curve(benchmark, "std", **kwargs)
     return ExecutionTimeFigure(figure=figure, benchmark=benchmark, hpx=hpx, std=std)
 
 
@@ -141,11 +183,20 @@ def overhead_figure(
     params: Mapping[str, Any] | None = None,
     core_counts: Sequence[int] | None = None,
     samples: int | None = None,
+    artifact: "CampaignArtifact | None" = None,
+    jobs: int = 1,
 ) -> OverheadFigure:
     """Regenerate one of Figures 8-12 from the HPX counters."""
     benchmark = _lookup(OVERHEAD_FIGURES, figure)
-    curve = run_strong_scaling(
-        benchmark, "hpx", config=config, params=params, core_counts=core_counts, samples=samples
+    curve = _curve(
+        benchmark,
+        "hpx",
+        artifact=artifact,
+        config=config,
+        params=params,
+        core_counts=core_counts,
+        samples=samples,
+        jobs=jobs,
     )
     out = OverheadFigure(figure=figure, benchmark=benchmark)
     base = curve.points[0]
@@ -159,9 +210,7 @@ def overhead_figure(
         out.ideal_scaling_ms.append(base_exec / p.cores / 1e6)
         out.task_time_per_core_ms.append(p.counters[_CUMULATIVE] / p.cores / 1e6)
         out.ideal_task_time_ms.append(base_task_time / p.cores / 1e6)
-        out.sched_overhead_per_core_ms.append(
-            p.counters[_CUMULATIVE_OVERHEAD] / p.cores / 1e6
-        )
+        out.sched_overhead_per_core_ms.append(p.counters[_CUMULATIVE_OVERHEAD] / p.cores / 1e6)
     return out
 
 
@@ -172,6 +221,8 @@ def bandwidth_figure(
     params: Mapping[str, Any] | None = None,
     core_counts: Sequence[int] | None = None,
     samples: int | None = None,
+    artifact: "CampaignArtifact | None" = None,
+    jobs: int = 1,
 ) -> BandwidthFigure:
     """Regenerate Figure 13 or 14: offcore bandwidth vs cores.
 
@@ -179,8 +230,15 @@ def bandwidth_figure(
     cache lines / execution time (Section V-C).
     """
     benchmark = _lookup(BANDWIDTH_FIGURES, figure)
-    curve = run_strong_scaling(
-        benchmark, "hpx", config=config, params=params, core_counts=core_counts, samples=samples
+    curve = _curve(
+        benchmark,
+        "hpx",
+        artifact=artifact,
+        config=config,
+        params=params,
+        core_counts=core_counts,
+        samples=samples,
+        jobs=jobs,
     )
     out = BandwidthFigure(figure=figure, benchmark=benchmark)
     for p in curve.points:

@@ -1,10 +1,17 @@
 """Regenerate every table and figure of the paper into text files.
 
-Run:  python -m repro.experiments.generate [outdir] [--samples N]
+Run:  python -m repro.experiments.generate [outdir] [--samples N] [--jobs N]
 
 Produces one ``<experiment>.txt`` per table/figure under *outdir*
 (default ``results/``) plus a combined ``all_results.txt``.  This is
 what EXPERIMENTS.md is built from.
+
+All scaling curves come from two campaign runs (one on the figure core
+grid, one on the table grid) executed through
+:func:`repro.campaign.engine.run_campaign`: ``--jobs N`` fans the
+matrix over a process pool and ``--cache-dir`` reuses cells across
+invocations, so regenerating after a partial run only executes what is
+missing.
 """
 
 from __future__ import annotations
@@ -14,6 +21,9 @@ import sys
 import time
 from pathlib import Path
 
+from repro.campaign.cache import ResultCache
+from repro.campaign.engine import run_campaign
+from repro.campaign.spec import CampaignSpec
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import (
     BANDWIDTH_FIGURES,
@@ -31,36 +41,54 @@ from repro.experiments.report import (
     render_table5,
 )
 from repro.experiments.tables import table1, table5
+from repro.inncabs.suite import available_benchmarks
 
 FIGURE_CORES = (1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20)
 TABLE_CORES = (1, 2, 4, 8, 10, 16, 20)
 
 
-def generate_all(outdir: Path, samples: int = 1, verbose: bool = True) -> dict[str, str]:
+def generate_all(
+    outdir: Path,
+    samples: int = 1,
+    verbose: bool = True,
+    jobs: int = 1,
+    cache_dir: Path | str | None = None,
+) -> dict[str, str]:
     """Regenerate everything; returns {experiment id: rendered text}."""
     outdir.mkdir(parents=True, exist_ok=True)
     fig_config = ExperimentConfig(samples=samples, core_counts=FIGURE_CORES)
     table_config = ExperimentConfig(samples=samples, core_counts=TABLE_CORES)
+    cache = ResultCache(Path(cache_dir)) if cache_dir is not None else None
     results: dict[str, str] = {}
+
+    def note(message: str) -> None:
+        if verbose:
+            print(f"[{time.strftime('%H:%M:%S')}] {message}", file=sys.stderr)
 
     def emit(key: str, text: str) -> None:
         results[key] = text
         (outdir / f"{key}.txt").write_text(text + "\n")
-        if verbose:
-            print(f"[{time.strftime('%H:%M:%S')}] wrote {key}.txt", file=sys.stderr)
+        note(f"wrote {key}.txt")
+
+    figure_benchmarks = tuple(sorted(set(EXEC_TIME_FIGURES.values())))
+    fig_spec = CampaignSpec.from_config(fig_config, benchmarks=figure_benchmarks)
+    note(f"figure campaign: {sum(1 for _ in fig_spec.cells())} cells (jobs={jobs})")
+    fig_artifact = run_campaign(fig_spec, jobs=jobs, cache=cache).artifact
+
+    table_spec = CampaignSpec.from_config(table_config, benchmarks=tuple(available_benchmarks()))
+    note(f"table campaign: {sum(1 for _ in table_spec.cells())} cells (jobs={jobs})")
+    table_artifact = run_campaign(table_spec, jobs=jobs, cache=cache).artifact
 
     emit("table1", render_table1(table1(cores=20, config=table_config)))
-    emit("table5", render_table5(table5(config=table_config)))
+    emit("table5", render_table5(table5(config=table_config, artifact=table_artifact)))
     for fig in sorted(EXEC_TIME_FIGURES):
-        emit(fig, render_execution_time_figure(execution_time_figure(fig, config=fig_config)))
+        emit(fig, render_execution_time_figure(execution_time_figure(fig, artifact=fig_artifact)))
     for fig in sorted(OVERHEAD_FIGURES):
-        emit(fig, render_overhead_figure(overhead_figure(fig, config=fig_config)))
+        emit(fig, render_overhead_figure(overhead_figure(fig, artifact=fig_artifact)))
     for fig in sorted(BANDWIDTH_FIGURES):
-        emit(fig, render_bandwidth_figure(bandwidth_figure(fig, config=fig_config)))
+        emit(fig, render_bandwidth_figure(bandwidth_figure(fig, artifact=fig_artifact)))
 
-    combined = "\n\n".join(
-        f"===== {key} =====\n{text}" for key, text in sorted(results.items())
-    )
+    combined = "\n\n".join(f"===== {key} =====\n{text}" for key, text in sorted(results.items()))
     (outdir / "all_results.txt").write_text(combined + "\n")
     return results
 
@@ -69,8 +97,10 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("outdir", nargs="?", default="results", type=Path)
     parser.add_argument("--samples", type=int, default=1)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--cache-dir", type=Path, default=None)
     args = parser.parse_args(argv)
-    generate_all(args.outdir, samples=args.samples)
+    generate_all(args.outdir, samples=args.samples, jobs=args.jobs, cache_dir=args.cache_dir)
     return 0
 
 

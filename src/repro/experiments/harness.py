@@ -5,16 +5,25 @@ workload fixed; 20 samples per configuration; medians of execution
 times and of every performance counter (counters are evaluated and
 reset around each sample with the ``hpx::evaluate_active_counters`` /
 ``reset_active_counters`` API).
+
+Since the campaign engine landed, this module is a thin veneer over
+:mod:`repro.campaign`: :func:`run_strong_scaling` describes one
+benchmark/runtime slice as a :class:`~repro.campaign.spec.CampaignSpec`
+and aggregates the resulting cells — the same single path the parallel
+engine, the cached artifacts, and the figures/tables all share.
 """
 
 from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import RunResult, run_benchmark
+from repro.experiments.runner import RunResult
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle
+    from repro.campaign.cache import ResultCache
 
 
 @dataclass
@@ -82,6 +91,29 @@ class ScalingCurve:
         return f"to {best_cores}"
 
 
+def aggregate_point(cores: int, runs: Sequence[RunResult]) -> ScalingPoint:
+    """Fold one core count's samples into a :class:`ScalingPoint`.
+
+    Medians of execution time and of every counter, per the paper's
+    protocol.  Shared by the serial harness and the campaign artifact
+    aggregation, so both report identical numbers.
+    """
+    aborted = any(r.aborted for r in runs)
+    point = ScalingPoint(cores=cores, aborted=aborted)
+    point.peak_live_tasks = max(r.peak_live_tasks for r in runs)
+    if not aborted:
+        times = [r.exec_time_ns for r in runs]
+        point.median_exec_ns = statistics.median(times)
+        point.exec_samples = tuple(times)
+        point.tasks_executed = runs[0].tasks_executed
+        point.offcore_bytes = round(statistics.median([r.offcore_bytes for r in runs]))
+        names = runs[0].counters.keys()
+        point.counters = {
+            name: statistics.median([r.counters[name] for r in runs]) for name in names
+        }
+    return point
+
+
 def run_strong_scaling(
     benchmark: str,
     runtime: str,
@@ -92,48 +124,28 @@ def run_strong_scaling(
     config: ExperimentConfig | None = None,
     counter_specs: Sequence[str] | None = None,
     collect_counters: bool = True,
+    jobs: int = 1,
+    cache: "ResultCache | None" = None,
 ) -> ScalingCurve:
-    """The paper's strong-scaling experiment for one benchmark/runtime."""
-    config = config or ExperimentConfig()
-    core_counts = tuple(core_counts if core_counts is not None else config.core_counts)
-    samples = samples if samples is not None else config.samples
+    """The paper's strong-scaling experiment for one benchmark/runtime.
 
-    points: list[ScalingPoint] = []
-    for cores in core_counts:
-        runs: list[RunResult] = []
-        for sample in range(samples):
-            sample_params = dict(params or {})
-            # Vary the seed per sample: the paper's 20 samples see real
-            # run-to-run variation; medians absorb it.
-            sample_params["seed"] = config.seed + sample
-            runs.append(
-                run_benchmark(
-                    benchmark,
-                    runtime=runtime,
-                    cores=cores,
-                    params=sample_params,
-                    config=config,
-                    counter_specs=counter_specs,
-                    collect_counters=collect_counters,
-                )
-            )
-        aborted = any(r.aborted for r in runs)
-        point = ScalingPoint(cores=cores, aborted=aborted)
-        if not aborted:
-            times = [r.exec_time_ns for r in runs]
-            point.median_exec_ns = statistics.median(times)
-            point.exec_samples = tuple(times)
-            point.tasks_executed = runs[0].tasks_executed
-            point.peak_live_tasks = max(r.peak_live_tasks for r in runs)
-            point.offcore_bytes = round(
-                statistics.median([r.offcore_bytes for r in runs])
-            )
-            names = runs[0].counters.keys()
-            point.counters = {
-                name: statistics.median([r.counters[name] for r in runs])
-                for name in names
-            }
-        else:
-            point.peak_live_tasks = max(r.peak_live_tasks for r in runs)
-        points.append(point)
-    return ScalingCurve(benchmark=benchmark, runtime=runtime, points=points)
+    Runs through the campaign engine: ``jobs`` fans samples/core counts
+    out over a process pool (bit-identical to serial), and ``cache``
+    reuses previously-computed cells.
+    """
+    from repro.campaign.engine import run_campaign
+    from repro.campaign.spec import CampaignSpec
+
+    config = config or ExperimentConfig()
+    spec = CampaignSpec.from_config(
+        config,
+        benchmarks=(benchmark,),
+        runtimes=(runtime,),
+        core_counts=core_counts,
+        samples=samples,
+        params=params,
+        collect_counters=collect_counters,
+        counter_specs=counter_specs,
+    )
+    run = run_campaign(spec, jobs=jobs, cache=cache)
+    return run.artifact.curve(benchmark, runtime)

@@ -84,10 +84,7 @@ def render_table5(rows: list[Table5Row]) -> str:
 
 def render_execution_time_figure(fig: ExecutionTimeFigure) -> str:
     header = ["cores", "HPX ms", "C++11 Standard ms"]
-    body = [
-        [cores, hpx, "fail" if std is None else std]
-        for cores, hpx, std in fig.rows()
-    ]
+    body = [[cores, hpx, "fail" if std is None else std] for cores, hpx, std in fig.rows()]
     title = f"{fig.figure}: execution time of {fig.benchmark} (HPX vs C++11 Standard)"
     return title + "\n" + render_table(header, body)
 

@@ -18,7 +18,7 @@ from repro.counters.registry import build_default_registry
 from repro.experiments.config import DEFAULT_COUNTERS, ExperimentConfig
 from repro.inncabs.base import effective_locality_factor
 from repro.inncabs.suite import get_benchmark
-from repro.kernel.scheduler import ResourceExhausted, StdRuntime
+from repro.kernel.scheduler import StdRuntime
 from repro.papi.hw import PapiSubstrate
 from repro.runtime.scheduler import HpxRuntime
 from repro.simcore.events import Engine

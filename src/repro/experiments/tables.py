@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
 from repro.experiments.config import ExperimentConfig
@@ -91,26 +91,44 @@ def table5(
     samples: int | None = None,
     config: ExperimentConfig | None = None,
     params: Mapping[str, Mapping[str, Any]] | None = None,
+    artifact: Any = None,  # CampaignArtifact: read curves instead of running
+    jobs: int = 1,
 ) -> list[Table5Row]:
     """Regenerate Table V.
 
     Task duration is the ``/threads/time/average`` counter on one core
     (exactly how the paper measured grain size); scaling labels come
-    from the strong-scaling medians of both runtimes.
+    from the strong-scaling medians of both runtimes.  Pass a campaign
+    ``artifact`` to read the curves from cached cells, or ``jobs`` to
+    fan fresh runs out over a process pool.
     """
     config = config or ExperimentConfig()
     rows = []
     for name in benchmarks or available_benchmarks():
         bench = get_benchmark(name)
         bench_params = (params or {}).get(name)
-        hpx = run_strong_scaling(
-            name, "hpx", config=config, core_counts=core_counts, samples=samples,
-            params=bench_params,
-        )
-        std = run_strong_scaling(
-            name, "std", config=config, core_counts=core_counts, samples=samples,
-            params=bench_params,
-        )
+        if artifact is not None:
+            hpx = artifact.curve(name, "hpx")
+            std = artifact.curve(name, "std")
+        else:
+            hpx = run_strong_scaling(
+                name,
+                "hpx",
+                config=config,
+                core_counts=core_counts,
+                samples=samples,
+                params=bench_params,
+                jobs=jobs,
+            )
+            std = run_strong_scaling(
+                name,
+                "std",
+                config=config,
+                core_counts=core_counts,
+                samples=samples,
+                params=bench_params,
+                jobs=jobs,
+            )
         duration_us = hpx.points[0].counters[_TASK_DURATION] / 1e3
         rows.append(
             Table5Row(

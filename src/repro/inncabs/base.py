@@ -19,7 +19,7 @@ lives in :mod:`repro.experiments.config`.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
 DEFAULT_SEED = 20160523  # IPDPS-workshops 2016 vintage
@@ -80,9 +80,7 @@ class Benchmark(abc.ABC):
         if params:
             unknown = set(params) - set(self.default_params) - {"seed"}
             if unknown:
-                raise ValueError(
-                    f"unknown parameters for {self.info.name}: {sorted(unknown)}"
-                )
+                raise ValueError(f"unknown parameters for {self.info.name}: {sorted(unknown)}")
             merged.update(params)
         merged.setdefault("seed", DEFAULT_SEED)
         return merged

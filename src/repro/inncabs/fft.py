@@ -30,17 +30,13 @@ def _dft(x: np.ndarray) -> np.ndarray:
 
 def _fft_task(ctx: Any, x: np.ndarray, offset: int, stride: int, n: int, cutoff: int):
     if n <= cutoff:
-        yield ctx.compute(
-            Work(cpu_ns=round(n * LEAF_NS_PER_ELEM), membytes=n * BYTES_PER_ELEM)
-        )
+        yield ctx.compute(Work(cpu_ns=round(n * LEAF_NS_PER_ELEM), membytes=n * BYTES_PER_ELEM))
         return _dft(x[offset : offset + stride * n : stride])
     half = n // 2
     feven = yield ctx.async_(_fft_task, x, offset, stride * 2, half, cutoff)
     fodd = yield ctx.async_(_fft_task, x, offset + stride, stride * 2, half, cutoff)
     even, odd = (yield ctx.wait_all([feven, fodd]))
-    yield ctx.compute(
-        Work(cpu_ns=round(n * COMBINE_NS_PER_ELEM), membytes=2 * n * BYTES_PER_ELEM)
-    )
+    yield ctx.compute(Work(cpu_ns=round(n * COMBINE_NS_PER_ELEM), membytes=2 * n * BYTES_PER_ELEM))
     twiddle = np.exp(-2j * np.pi * np.arange(half) / n) * odd
     return np.concatenate([even + twiddle, even - twiddle])
 

@@ -66,9 +66,7 @@ def _bbox_area(placed: tuple[Rect, ...]) -> int:
     return xmax * ymax
 
 
-def solve_sequential(
-    cells: tuple, depth: int, placed: tuple[Rect, ...], best: list[int]
-) -> int:
+def solve_sequential(cells: tuple, depth: int, placed: tuple[Rect, ...], best: list[int]) -> int:
     """Exhaustive B&B below a task; returns nodes visited.
 
     ``best`` is the shared mutable bound (list of one int).  The same

@@ -133,9 +133,7 @@ def _health_root(ctx: Any, levels: int, branching: int, steps: int, seed: int):
     state: dict[int, VillageState] = {}
     total = 0
     for step in range(steps):
-        fut = yield ctx.async_(
-            _village_task, state, seed, 0, 0, step, levels, branching
-        )
+        fut = yield ctx.async_(_village_task, state, seed, 0, 0, step, levels, branching)
         total += yield ctx.wait(fut)
     treated, waiting, referred = _collect(state)
     return total, treated, waiting, referred

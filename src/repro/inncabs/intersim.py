@@ -49,9 +49,7 @@ def _intersim_root(ctx: Any, rounds: int, tasks_per_round: int, interchanges: in
     for round_idx in range(rounds):
         futures = []
         for task_idx in range(tasks_per_round):
-            fut = yield ctx.async_(
-                _intersim_task, shared, round_idx, task_idx, interchanges
-            )
+            fut = yield ctx.async_(_intersim_task, shared, round_idx, task_idx, interchanges)
             futures.append(fut)
         yield ctx.wait_all(futures)
     return shared["counts"]

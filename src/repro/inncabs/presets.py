@@ -13,7 +13,7 @@ three presets per benchmark:
 
 from __future__ import annotations
 
-from typing import Any, Mapping
+from typing import Any
 
 from repro.inncabs.suite import available_benchmarks, get_benchmark
 

@@ -38,9 +38,7 @@ def stencil_step(grid: np.ndarray) -> np.ndarray:
     return 0.25 * padded[:-2] + 0.5 * padded[1:-1] + 0.25 * padded[2:]
 
 
-def advance_window(
-    window: np.ndarray, k: int, clamp_left: bool, clamp_right: bool
-) -> np.ndarray:
+def advance_window(window: np.ndarray, k: int, clamp_left: bool, clamp_right: bool) -> np.ndarray:
     """Advance a local window *k* steps.
 
     Clamped sides sit on the physical domain boundary and keep their

@@ -72,9 +72,7 @@ def _pmerge_task(
     split2 = lo2 + int(np.searchsorted(src[lo2:hi2], src[mid1]))
     left_len = (mid1 - lo1) + (split2 - lo2)
     f1 = yield ctx.async_(_pmerge_task, src, lo1, mid1, lo2, split2, dst, out, cutoff)
-    f2 = yield ctx.async_(
-        _pmerge_task, src, mid1, hi1, split2, hi2, dst, out + left_len, cutoff
-    )
+    f2 = yield ctx.async_(_pmerge_task, src, mid1, hi1, split2, hi2, dst, out + left_len, cutoff)
     yield ctx.wait_all([f1, f2])
     return None
 
@@ -97,9 +95,7 @@ def _sort_task(ctx: Any, arr: np.ndarray, buf: np.ndarray, lo: int, hi: int, cut
     yield ctx.wait_all([f1, f2])
     fm = yield ctx.async_(_pmerge_task, arr, lo, mid, mid, hi, buf, lo, 2 * cutoff)
     yield ctx.wait(fm)
-    yield ctx.compute(
-        Work(cpu_ns=round(n * COPY_NS_PER_ELEM), membytes=n * BYTES_PER_ELEM)
-    )
+    yield ctx.compute(Work(cpu_ns=round(n * COPY_NS_PER_ELEM), membytes=n * BYTES_PER_ELEM))
     arr[lo:hi] = buf[lo:hi]
     return None
 

@@ -73,9 +73,7 @@ class KMutex:
 
     def release(self, thread: OSThread) -> OSThread | None:
         if self.owner is not thread:
-            raise RuntimeError(
-                f"thread {thread.tid} releasing mutex {self.mid} it does not own"
-            )
+            raise RuntimeError(f"thread {thread.tid} releasing mutex {self.mid} it does not own")
         if self.waiters:
             nxt = self.waiters.popleft()
             self.owner = nxt
@@ -114,9 +112,7 @@ class StdRuntime:
         self.params = params or StdParams()
         self.topology = Topology(machine.spec)
         cores = self.topology.binding(num_workers, bind_mode)
-        self.cores = [
-            _KCore(i, core, machine.spec.socket_of(core)) for i, core in enumerate(cores)
-        ]
+        self.cores = [_KCore(i, core, machine.spec.socket_of(core)) for i, core in enumerate(cores)]
         self.run_queue: deque[OSThread] = deque()
         self.stats = StdStats()
         self._next_tid = 0
@@ -189,9 +185,7 @@ class StdRuntime:
     def _commit_memory(self, thread: OSThread) -> None:
         thread.committed = True
         self.stats.live_threads += 1
-        self.stats.peak_live_threads = max(
-            self.stats.peak_live_threads, self.stats.live_threads
-        )
+        self.stats.peak_live_threads = max(self.stats.peak_live_threads, self.stats.live_threads)
         self.stats.committed_bytes += self.params.thread_commit_bytes
         if self.stats.committed_bytes > self.params.ram_budget_bytes:
             self._abort(
@@ -236,9 +230,7 @@ class StdRuntime:
             thread.state = ThreadState.RUNNING
             thread.slices += 1
             self.stats.dispatches += 1
-            cost = self.params.context_switch_ns + self._lock_delay(
-                self.params.runqueue_hold_ns
-            )
+            cost = self.params.context_switch_ns + self._lock_delay(self.params.runqueue_hold_ns)
             thread.overhead_ns += cost
             self.stats.overhead_ns += cost
             self.engine.schedule(cost, lambda c=core, t=thread: self._run(c, t))
@@ -327,9 +319,7 @@ class StdRuntime:
             if thread.home_socket != core.socket and part.membytes > 0
             else 0.0
         )
-        ticket = self.machine.segment_begin(
-            core.core_index, part, cross_socket_fraction=cross
-        )
+        ticket = self.machine.segment_begin(core.core_index, part, cross_socket_fraction=cross)
         duration = ticket.duration_ns
         thread.exec_ns += duration
         self.stats.exec_ns += duration
@@ -353,9 +343,7 @@ class StdRuntime:
         policy = LaunchPolicy.parse(effect.policy)
         if policy in (LaunchPolicy.ASYNC, LaunchPolicy.FORK):
             # fork does not exist in std; Inncabs maps it to async.
-            cost = self.params.thread_create_ns + self._lock_delay(
-                self.params.create_hold_ns
-            )
+            cost = self.params.thread_create_ns + self._lock_delay(self.params.create_hold_ns)
             child = self._make_thread(effect.fn, effect.args, home_socket=core.socket)
             if self.aborted:
                 return
@@ -379,9 +367,7 @@ class StdRuntime:
             self.engine.schedule(cost, lambda: self._step(core, thread, child.future))
             return
         # SYNC: run inline on this thread, borrowing the core.
-        child = self._make_thread(
-            effect.fn, effect.args, home_socket=core.socket, deferred=True
-        )
+        child = self._make_thread(effect.fn, effect.args, home_socket=core.socket, deferred=True)
         self._run_inline(core, thread, child, send_future=True)
 
     def _run_inline(

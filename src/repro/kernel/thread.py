@@ -79,9 +79,7 @@ class OSThread:
         if self.gen is None:
             gen = self.fn(ctx, *self.args)
             if not isinstance(gen, Generator):
-                raise TypeError(
-                    f"thread body {self.description!r} must be a generator function"
-                )
+                raise TypeError(f"thread body {self.description!r} must be a generator function")
             self.gen = gen
         return self.gen
 

@@ -10,7 +10,7 @@ task ``std::async`` exhausts memory).  Thieves take from the *tail*
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.runtime.task import Task
 

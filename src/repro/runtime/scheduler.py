@@ -16,7 +16,7 @@ scheduler on top of :class:`repro.simcore.events.Engine`:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.model.context import TaskContext

@@ -43,9 +43,7 @@ class Mutex:
     def release(self, task: Task) -> Task | None:
         """Release; returns the waiter that now owns the mutex (if any)."""
         if self.owner is not task:
-            raise RuntimeError(
-                f"task {task.tid} releasing mutex {self.mid} it does not own"
-            )
+            raise RuntimeError(f"task {task.tid} releasing mutex {self.mid} it does not own")
         if self.waiters:
             next_owner = self.waiters.popleft()
             self.owner = next_owner

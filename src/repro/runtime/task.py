@@ -68,9 +68,7 @@ class Task:
         self.args = args
         self.policy = policy
         self.future = SimFuture(producer_task=self)
-        self.state = (
-            TaskState.DEFERRED if policy is LaunchPolicy.DEFERRED else TaskState.PENDING
-        )
+        self.state = (TaskState.DEFERRED if policy is LaunchPolicy.DEFERRED else TaskState.PENDING)
         self.parent_tid = parent_tid
         self.home_socket = home_socket
         self.stack_bytes = stack_bytes
@@ -93,9 +91,7 @@ class Task:
         if self.gen is None:
             gen = self.fn(ctx, *self.args)
             if not isinstance(gen, Generator):
-                raise TypeError(
-                    f"task body {self.description!r} must be a generator function"
-                )
+                raise TypeError(f"task body {self.description!r} must be a generator function")
             self.gen = gen
         return self.gen
 

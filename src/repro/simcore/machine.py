@@ -54,11 +54,7 @@ class HardwareCounters:
     offcore_demand_rfo: int = 0
 
     def offcore_total(self) -> int:
-        return (
-            self.offcore_all_data_rd
-            + self.offcore_demand_code_rd
-            + self.offcore_demand_rfo
-        )
+        return (self.offcore_all_data_rd + self.offcore_demand_code_rd + self.offcore_demand_rfo)
 
 
 @dataclass
@@ -116,9 +112,7 @@ class Machine:
         overflow = ws / self.spec.l3_bytes_per_socket - 1.0
         if overflow <= 0:
             return 1.0
-        return min(
-            self.spec.l3_max_factor, 1.0 + self.spec.l3_pressure_alpha * overflow
-        )
+        return min(self.spec.l3_max_factor, 1.0 + self.spec.l3_pressure_alpha * overflow)
 
     def total_offcore_bytes(self) -> int:
         return sum(c.stats.bytes_total for c in self.controllers)
@@ -145,17 +139,13 @@ class Machine:
 
         pressure = self.l3_pressure_factor(socket, work.effective_working_set)
         membytes = round(work.membytes * pressure)
-        mem_ns = controller.service_time_ns(
-            membytes, cross_socket_fraction=cross_socket_fraction
-        )
+        mem_ns = controller.service_time_ns(membytes, cross_socket_fraction=cross_socket_fraction)
         cpu_ns = round(work.cpu_ns * speed_factor)
         duration = cpu_ns + mem_ns
 
         uses_memory = membytes > 0
         if uses_memory:
-            controller.stream_started(
-                membytes, cross_socket_fraction=cross_socket_fraction
-            )
+            controller.stream_started(membytes, cross_socket_fraction=cross_socket_fraction)
         self._active_ws[socket] += work.effective_working_set
 
         # Hardware counter increments are booked at segment start; the

@@ -15,7 +15,7 @@ O(n) re-scheduling storms while preserving the contention shape.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

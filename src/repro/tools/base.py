@@ -8,7 +8,7 @@ from typing import Any, Mapping
 
 from repro.experiments.config import ExperimentConfig
 from repro.inncabs.suite import get_benchmark
-from repro.kernel.scheduler import ResourceExhausted, StdRuntime
+from repro.kernel.scheduler import StdRuntime
 from repro.kernel.thread import OSThread
 from repro.simcore.clock import s as seconds
 from repro.simcore.events import Engine
@@ -145,9 +145,7 @@ def run_with_tool(
 
     engine = Engine()
     machine = Machine(config.machine)
-    rt = InstrumentedStdRuntime(
-        engine, machine, num_workers=cores, params=config.std, tool=tool
-    )
+    rt = InstrumentedStdRuntime(engine, machine, num_workers=cores, params=config.std, tool=tool)
     result = ToolRunResult(benchmark=benchmark, tool=tool.name, outcome=ToolOutcome.COMPLETED)
     try:
         future = rt.submit(root_fn, *root_args)

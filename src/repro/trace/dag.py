@@ -97,13 +97,9 @@ def work_span(trace: TraceRecorder | list[TaskEvent]) -> WorkSpan:
         lengths: dict = {}
         for node in nx.topological_sort(graph):
             own = graph.nodes[node]["busy_ns"]
-            best_pred = max(
-                (lengths[p] for p in graph.predecessors(node)), default=0
-            )
+            best_pred = max((lengths[p] for p in graph.predecessors(node)), default=0)
             lengths[node] = best_pred + own
         span = max(lengths.values())
     tasks = len({data["tid"] for _n, data in graph.nodes(data=True)})
-    external_edges = sum(
-        1 for *_e, data in graph.edges(data=True) if data["kind"] != "internal"
-    )
+    external_edges = sum(1 for *_e, data in graph.edges(data=True) if data["kind"] != "internal")
     return WorkSpan(work_ns=work, span_ns=span, tasks=tasks, edges=external_edges)

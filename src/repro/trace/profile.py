@@ -7,7 +7,7 @@ post-mortem tool would print after the run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.trace.recorder import TaskEvent, TraceRecorder
 
@@ -57,7 +57,9 @@ def build_profile(trace: TraceRecorder | list[TaskEvent]) -> dict[str, FunctionP
 def render_profile(profiles: dict[str, FunctionProfile]) -> str:
     """Flat-profile text, busiest first."""
     rows = sorted(profiles.values(), key=lambda p: -p.busy_ns)
-    lines = [f"{'task body':30s} {'tasks':>8s} {'activations':>12s} {'busy ms':>10s} {'mean us':>9s}"]
+    lines = [
+        f"{'task body':30s} {'tasks':>8s} {'activations':>12s} {'busy ms':>10s} {'mean us':>9s}"
+    ]
     for p in rows:
         lines.append(
             f"{p.name:30s} {p.tasks:8d} {p.activations:12d} "

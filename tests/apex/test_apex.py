@@ -50,9 +50,7 @@ def test_rules_fire_and_are_recorded(registry, hpx4, engine):
 
 
 def test_rules_returning_none_record_nothing(registry, hpx4, engine):
-    pe = make_engine(
-        registry, hpx4, engine, rules=[PolicyRule("quiet", lambda s, t: None)]
-    )
+    pe = make_engine(registry, hpx4, engine, rules=[PolicyRule("quiet", lambda s, t: None)])
     pe.start()
     hpx4.run_to_completion(fib_body, 12)
     assert pe.history == []

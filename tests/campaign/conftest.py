@@ -1,0 +1,25 @@
+"""Shared campaign fixtures: one small matrix, executed once."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.engine import CampaignRun, run_campaign
+from repro.campaign.spec import CampaignSpec
+
+
+@pytest.fixture(scope="session")
+def small_spec() -> CampaignSpec:
+    """A fast 2-runtime fib matrix on the ``small`` preset."""
+    return CampaignSpec(
+        benchmarks=("fib",),
+        runtimes=("hpx", "std"),
+        core_counts=(1, 2),
+        samples=2,
+        preset="small",
+    )
+
+
+@pytest.fixture(scope="session")
+def small_run(small_spec: CampaignSpec) -> CampaignRun:
+    return run_campaign(small_spec, jobs=1)

@@ -1,0 +1,63 @@
+"""Artifact format: roundtrip, aggregation, harness equivalence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.artifact import ARTIFACT_SCHEMA, CampaignArtifact
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import run_strong_scaling
+
+
+def test_save_load_roundtrip(small_run, tmp_path):
+    path = small_run.artifact.save(tmp_path / "campaigns" / "small.json")
+    loaded = CampaignArtifact.load(path)
+    assert loaded.spec == small_run.artifact.spec
+    assert loaded.cells == small_run.artifact.cells
+    assert loaded.cells_json() == small_run.artifact.cells_json()
+
+
+def test_artifact_is_versioned(small_run, tmp_path):
+    path = small_run.artifact.save(tmp_path / "a.json")
+    data = json.loads(path.read_text())
+    assert data["schema"] == ARTIFACT_SCHEMA
+    assert data["kind"] == "repro-campaign"
+    assert data["code_version"]
+    assert data["environment"]["python"]
+    assert len(data["cells"]) == len(small_run.artifact.cells)
+    assert data["points"]  # per-(benchmark, runtime, cores) aggregates
+
+
+def test_unsupported_schema_rejected(small_run, tmp_path):
+    data = small_run.artifact.to_json_dict()
+    data["schema"] = ARTIFACT_SCHEMA + 1
+    with pytest.raises(ValueError, match="unsupported artifact schema"):
+        CampaignArtifact.from_json_dict(data)
+    with pytest.raises(ValueError, match="not a campaign artifact"):
+        CampaignArtifact.from_json_dict({"cells": []})
+
+
+def test_curves_match_serial_harness(small_spec, small_run):
+    """Artifact aggregation is the harness aggregation, number for number."""
+    config = ExperimentConfig(
+        machine=small_spec.machine,
+        hpx=small_spec.hpx,
+        std=small_spec.std,
+        samples=small_spec.samples,
+        core_counts=small_spec.core_counts,
+        seed=small_spec.seed,
+    )
+    direct = run_strong_scaling("fib", "hpx", params={"n": 12}, config=config)
+    from_artifact = small_run.artifact.curve("fib", "hpx")
+    assert [p.cores for p in from_artifact.points] == [p.cores for p in direct.points]
+    for mine, theirs in zip(from_artifact.points, direct.points):
+        assert mine.median_exec_ns == theirs.median_exec_ns
+        assert mine.exec_samples == theirs.exec_samples
+        assert mine.counters == theirs.counters
+
+
+def test_curve_lookup_error_lists_contents(small_run):
+    with pytest.raises(KeyError, match="fib/hpx"):
+        small_run.artifact.curve("strassen", "hpx")

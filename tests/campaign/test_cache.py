@@ -1,0 +1,55 @@
+"""ResultCache: hit/miss semantics and corruption handling."""
+
+from __future__ import annotations
+
+import json
+
+from repro.campaign.cache import CACHE_PAYLOAD_SCHEMA, ResultCache
+
+KEY = "ab" + "0" * 62
+RESULT = {"aborted": False, "exec_time_ns": 123, "counters": {"/x": 1.0}}
+
+
+def test_miss_then_hit(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    assert cache.load(KEY) is None
+    assert cache.misses == 1
+    cache.store(KEY, RESULT)
+    assert cache.load(KEY) == RESULT
+    assert cache.hits == 1
+    assert len(cache) == 1
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.store(KEY, RESULT)
+    cache.path_for(KEY).write_text("{truncated", encoding="utf-8")
+    assert cache.load(KEY) is None
+    assert cache.invalid == 1
+
+
+def test_key_mismatch_is_a_miss(tmp_path):
+    """An entry whose embedded key disagrees with its path is stale."""
+    cache = ResultCache(tmp_path)
+    cache.store(KEY, RESULT)
+    payload = {"schema": CACHE_PAYLOAD_SCHEMA, "key": "f" * 64, "result": RESULT}
+    cache.path_for(KEY).write_text(json.dumps(payload), encoding="utf-8")
+    assert cache.load(KEY) is None
+    assert cache.invalid == 1
+
+
+def test_schema_bump_invalidates(tmp_path):
+    cache = ResultCache(tmp_path)
+    payload = {"schema": CACHE_PAYLOAD_SCHEMA + 1, "key": KEY, "result": RESULT}
+    path = cache.path_for(KEY)
+    path.parent.mkdir(parents=True)
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    assert cache.load(KEY) is None
+    assert cache.invalid == 1
+
+
+def test_store_is_atomic_no_temp_residue(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.store(KEY, RESULT)
+    leftovers = [p for p in (tmp_path / KEY[:2]).iterdir() if p.suffix == ".tmp"]
+    assert leftovers == []

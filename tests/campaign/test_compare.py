@@ -1,0 +1,127 @@
+"""repro compare: point diffing, thresholds, exit codes."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.campaign.artifact import CampaignArtifact
+from repro.campaign.compare import (
+    CompareThresholds,
+    compare_artifacts,
+    render_compare,
+)
+
+
+def scaled_artifact(artifact, benchmark, runtime, cores, factor):
+    """A deep copy with one point's exec times scaled by *factor*."""
+    data = copy.deepcopy(artifact.to_json_dict())
+    touched = 0
+    for cell in data["cells"]:
+        if (cell["benchmark"], cell["runtime"], cell["cores"]) == (benchmark, runtime, cores):
+            cell["result"]["exec_time_ns"] = round(cell["result"]["exec_time_ns"] * factor)
+            touched += 1
+    assert touched, "no cells matched the injection target"
+    return CampaignArtifact.from_json_dict(data)
+
+
+def dropped_artifact(artifact, benchmark, runtime, cores):
+    data = copy.deepcopy(artifact.to_json_dict())
+    data["cells"] = [
+        c
+        for c in data["cells"]
+        if (c["benchmark"], c["runtime"], c["cores"]) != (benchmark, runtime, cores)
+    ]
+    return CampaignArtifact.from_json_dict(data)
+
+
+def test_identical_artifacts_pass(small_run):
+    report = compare_artifacts(small_run.artifact, small_run.artifact)
+    assert report.ok
+    assert report.exit_code() == 0
+    assert all(d.status in ("ok", "abort-both") for d in report.deltas)
+    assert "PASS" in render_compare(report)
+
+
+def test_injected_regression_fails(small_run):
+    """A synthetic >10% slowdown on one point trips the 10% gate."""
+    slower = scaled_artifact(small_run.artifact, "fib", "hpx", 2, 1.25)
+    report = compare_artifacts(small_run.artifact, slower, CompareThresholds(exec_time=0.10))
+    assert not report.ok
+    assert report.exit_code() == 1
+    [failure] = report.failures
+    assert (failure.benchmark, failure.runtime, failure.cores) == ("fib", "hpx", 2)
+    assert failure.status == "regression"
+    assert failure.exec_delta == pytest.approx(0.25, abs=0.01)
+    assert "FAIL" in render_compare(report)
+
+
+def test_regression_within_threshold_passes(small_run):
+    slightly_slower = scaled_artifact(small_run.artifact, "fib", "hpx", 2, 1.04)
+    report = compare_artifacts(
+        small_run.artifact, slightly_slower, CompareThresholds(exec_time=0.10)
+    )
+    assert report.ok
+
+
+def test_improvement_does_not_fail(small_run):
+    faster = scaled_artifact(small_run.artifact, "fib", "hpx", 2, 0.5)
+    report = compare_artifacts(small_run.artifact, faster, CompareThresholds(exec_time=0.10))
+    assert report.ok
+    statuses = {d.key: d.status for d in report.deltas}
+    assert statuses[("fib", "hpx", 2)] == "improved"
+
+
+def test_missing_point_fails(small_run):
+    partial = dropped_artifact(small_run.artifact, "fib", "hpx", 2)
+    report = compare_artifacts(small_run.artifact, partial)
+    assert not report.ok
+    assert any(d.status == "missing" for d in report.failures)
+    # the reverse direction is a new point: informational, not a failure
+    reverse = compare_artifacts(partial, small_run.artifact)
+    assert reverse.ok
+    assert any(d.status == "new" for d in reverse.deltas)
+
+
+def test_new_abort_fails(small_run):
+    data = copy.deepcopy(small_run.artifact.to_json_dict())
+    touched = 0
+    for cell in data["cells"]:
+        if (cell["benchmark"], cell["runtime"], cell["cores"]) == ("fib", "hpx", 1):
+            cell["result"]["aborted"] = True
+            cell["result"]["abort_reason"] = "injected"
+            touched += 1
+    assert touched
+    aborting = CampaignArtifact.from_json_dict(data)
+    report = compare_artifacts(small_run.artifact, aborting)
+    assert not report.ok
+    assert any(d.status == "abort-new" for d in report.failures)
+    # an abort that went away is an improvement, not a failure
+    fixed = compare_artifacts(aborting, small_run.artifact)
+    assert fixed.ok
+    assert any(d.status == "abort-fixed" for d in fixed.deltas)
+
+
+def test_counter_threshold_gates_when_configured(small_run):
+    data = copy.deepcopy(small_run.artifact.to_json_dict())
+    for cell in data["cells"]:
+        if (cell["benchmark"], cell["runtime"], cell["cores"]) == ("fib", "hpx", 1):
+            for name in cell["result"]["counters"]:
+                cell["result"]["counters"][name] *= 2.0
+    drifted = CampaignArtifact.from_json_dict(data)
+    lax = compare_artifacts(small_run.artifact, drifted, CompareThresholds(exec_time=0.10))
+    assert lax.ok  # counters are reported but not gated by default
+    strict = compare_artifacts(
+        small_run.artifact,
+        drifted,
+        CompareThresholds(exec_time=0.10, counters=0.5),
+    )
+    assert not strict.ok
+    assert any(d.status == "counter-regression" for d in strict.failures)
+
+
+def test_render_lists_every_point(small_run):
+    report = compare_artifacts(small_run.artifact, small_run.artifact)
+    text = render_compare(report)
+    assert len(text.splitlines()) == len(report.deltas) + 2  # header + verdict

@@ -1,0 +1,87 @@
+"""Engine semantics: determinism, caching, resume-after-interrupt."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.engine import run_campaign
+from repro.campaign.spec import CampaignSpec
+
+
+def test_parallel_is_bit_identical_to_serial(small_spec, small_run):
+    """--jobs 4 must reproduce --jobs 1 byte for byte (per cell)."""
+    parallel = run_campaign(small_spec, jobs=4)
+    assert parallel.artifact.cells_json() == small_run.artifact.cells_json()
+
+
+def test_repeated_run_is_all_cache_hits(small_spec, tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    first = run_campaign(small_spec, jobs=2, cache=cache)
+    assert first.stats.executed == first.stats.total
+    second = run_campaign(small_spec, jobs=2, cache=ResultCache(tmp_path / "cache"))
+    assert second.stats.cache_hits == second.stats.total
+    assert second.stats.executed == 0
+    assert second.stats.hit_rate == 1.0
+    assert second.artifact.cells_json() == first.artifact.cells_json()
+
+
+def test_growing_the_matrix_reuses_existing_cells(small_spec, tmp_path):
+    """Cache keys ignore matrix shape: new cores only run the new cells."""
+    cache_dir = tmp_path / "cache"
+    narrow = dataclasses.replace(small_spec, core_counts=(1,))
+    run_campaign(narrow, cache=ResultCache(cache_dir))
+    wide = run_campaign(small_spec, cache=ResultCache(cache_dir))
+    per_cores = len(small_spec.benchmarks) * len(small_spec.runtimes) * small_spec.samples
+    assert wide.stats.cache_hits == per_cores  # the cores=1 column
+    assert wide.stats.executed == wide.stats.total - per_cores
+
+
+def test_interrupted_campaign_resumes(small_spec, tmp_path):
+    """Cells finished before an interrupt are not re-executed."""
+    cache_dir = tmp_path / "cache"
+    interrupt_after = 3
+    executed = [0]
+
+    def interrupting_progress(cell, result, from_cache):
+        executed[0] += 1
+        if executed[0] == interrupt_after:
+            raise KeyboardInterrupt
+
+    with pytest.raises(KeyboardInterrupt):
+        run_campaign(small_spec, cache=ResultCache(cache_dir), progress=interrupting_progress)
+    resumed = run_campaign(small_spec, cache=ResultCache(cache_dir))
+    assert resumed.stats.cache_hits == interrupt_after
+    assert resumed.stats.executed == resumed.stats.total - interrupt_after
+
+
+def test_cacheless_runs_execute_everything(small_spec, small_run):
+    assert small_run.stats.cache_hits == 0
+    assert small_run.stats.executed == small_run.stats.total
+    assert small_run.stats.total == len(list(small_spec.cells()))
+
+
+def test_progress_reports_cache_state(small_spec, tmp_path):
+    cache_dir = tmp_path / "cache"
+    run_campaign(small_spec, cache=ResultCache(cache_dir))
+    seen = []
+
+    def progress(cell, result, from_cache):
+        seen.append((cell, from_cache))
+
+    run_campaign(small_spec, cache=ResultCache(cache_dir), progress=progress)
+    assert len(seen) == len(list(small_spec.cells()))
+    assert all(from_cache for _, from_cache in seen)
+
+
+def test_abort_cells_counted(small_run):
+    """The scaled std thread budget makes some fib/std cells abort."""
+    aborted = [cr for cr in small_run.artifact.cells if cr.result["aborted"]]
+    assert small_run.stats.aborted == len(aborted)
+
+
+def test_invalid_samples_rejected():
+    with pytest.raises(ValueError, match="samples"):
+        CampaignSpec(benchmarks=("fib",), samples=0)

@@ -75,9 +75,7 @@ def test_reset_propagates():
     from repro.counters.base import MonotonicCounter
 
     state = {"v": 100.0}
-    mono = MonotonicCounter(
-        parse_counter_name("/test/raw"), info, env, lambda: state["v"]
-    )
+    mono = MonotonicCounter(parse_counter_name("/test/raw"), info, env, lambda: state["v"])
     name = parse_counter_name("/arithmetics/add@x")
     ainfo = CounterInfo("/arithmetics/add", CounterType.ARITHMETIC, "t")
     c = ArithmeticCounter(name, ainfo, env, [mono], "add")

@@ -58,9 +58,7 @@ def test_monotonic_baseline_reset():
 
 def test_average_ratio():
     state = {"num": 1000.0, "den": 10.0}
-    c = AverageRatioCounter(
-        NAME, info(), make_env(), lambda: state["num"], lambda: state["den"]
-    )
+    c = AverageRatioCounter(NAME, info(), make_env(), lambda: state["num"], lambda: state["den"])
     assert c.read() == 100.0
     c.reset()
     state["num"] = 1600.0

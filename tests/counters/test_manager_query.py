@@ -3,7 +3,7 @@
 import pytest
 
 from repro.counters.manager import ActiveCounters, format_counter_values
-from repro.counters.query import QUERY_COST_PER_COUNTER_NS, PeriodicQuery
+from repro.counters.query import PeriodicQuery
 from repro.simcore.clock import us
 
 from tests.conftest import fib_body

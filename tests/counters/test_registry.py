@@ -32,9 +32,7 @@ def test_discover_default_instance(registry):
 
 
 def test_discover_worker_wildcard(registry):
-    names = registry.discover_counters(
-        "/threads{locality#0/worker-thread#*}/count/cumulative"
-    )
+    names = registry.discover_counters("/threads{locality#0/worker-thread#*}/count/cumulative")
     assert names == [
         f"/threads{{locality#0/worker-thread#{i}}}/count/cumulative" for i in range(4)
     ]

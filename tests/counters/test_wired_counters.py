@@ -27,9 +27,7 @@ def test_count_created_matches(registry, hpx4):
 
 
 def test_time_average_is_ratio(registry, hpx4):
-    values, rt = run_and_read(
-        registry, hpx4, ["/threads/time/average", "/threads/time/cumulative"]
-    )
+    values, rt = run_and_read(registry, hpx4, ["/threads/time/average", "/threads/time/cumulative"])
     avg = values[f"/threads{{{TOTAL}}}/time/average"]
     cum = values[f"/threads{{{TOTAL}}}/time/cumulative"]
     assert cum == rt.stats.exec_ns
@@ -57,9 +55,7 @@ def test_per_worker_counts_sum_to_total(registry, hpx4):
             "/threads/count/cumulative",
         ],
     )
-    workers = sum(
-        v for k, v in values.items() if "worker-thread" in k
-    )
+    workers = sum(v for k, v in values.items() if "worker-thread" in k)
     assert workers == values[f"/threads{{{TOTAL}}}/count/cumulative"]
 
 
@@ -75,9 +71,7 @@ def test_stolen_counter(registry, hpx4):
 
 
 def test_pending_queue_counter_zero_after_run(registry, hpx4):
-    values, _ = run_and_read(
-        registry, hpx4, ["/threads/count/instantaneous/pending"]
-    )
+    values, _ = run_and_read(registry, hpx4, ["/threads/count/instantaneous/pending"])
     assert values[f"/threads{{{TOTAL}}}/count/instantaneous/pending"] == 0
 
 
@@ -114,9 +108,7 @@ def test_papi_total_matches_machine(registry, hpx4, machine):
 
 
 def test_papi_per_worker_instance(registry, hpx4, machine):
-    values, rt = run_and_read(
-        registry, hpx4, ["/papi{locality#0/worker-thread#0}/PAPI_TOT_CYC"]
-    )
+    values, rt = run_and_read(registry, hpx4, ["/papi{locality#0/worker-thread#0}/PAPI_TOT_CYC"])
     core_index = rt.workers[0].core_index
     assert (
         values["/papi{locality#0/worker-thread#0}/PAPI_TOT_CYC"]

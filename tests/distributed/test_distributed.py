@@ -133,9 +133,7 @@ def test_remote_counter_query(system):
     warm = system.async_remote(1, 1, _compute_task, 5)
     system.run()
     assert warm.value() == 25
-    fut = system.query_counter(
-        0, 1, "/threads{locality#0/total}/count/cumulative"
-    )
+    fut = system.query_counter(0, 1, "/threads{locality#0/total}/count/cumulative")
     system.run()
     # locality 1 executed the warm task plus the query task itself.
     assert fut.value() >= 1

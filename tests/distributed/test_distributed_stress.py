@@ -1,6 +1,5 @@
 """Property-style stress of the distributed substrate."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -24,9 +23,7 @@ def _square(ctx, n):
 def test_property_all_remote_calls_resolve(calls):
     engine = Engine()
     system = DistributedSystem(engine, localities=3, cores_per_locality=2)
-    futures = [
-        (n, system.async_remote(src, dst, _square, n)) for src, dst, n in calls
-    ]
+    futures = [(n, system.async_remote(src, dst, _square, n)) for src, dst, n in calls]
     system.run()
     for n, fut in futures:
         assert fut.is_ready
@@ -58,9 +55,7 @@ def test_parcel_conservation():
     sent = sum(loc.parcelport.stats.sent for loc in system.localities)
     received = sum(loc.parcelport.stats.received for loc in system.localities)
     bytes_sent = sum(loc.parcelport.stats.bytes_sent for loc in system.localities)
-    bytes_received = sum(
-        loc.parcelport.stats.bytes_received for loc in system.localities
-    )
+    bytes_received = sum(loc.parcelport.stats.bytes_received for loc in system.localities)
     assert sent == received == 24  # 12 invocations + 12 result parcels
     assert bytes_sent == bytes_received
 

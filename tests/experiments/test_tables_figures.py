@@ -19,7 +19,7 @@ from repro.experiments.report import (
     render_table1,
     render_table5,
 )
-from repro.experiments.tables import Table5Row, classify_granularity, table1, table5
+from repro.experiments.tables import classify_granularity, table1, table5
 
 TINY = ExperimentConfig(samples=1, core_counts=(1, 2))
 
@@ -45,9 +45,7 @@ def test_classify_granularity_bands():
 
 
 def test_execution_time_figure_small():
-    fig = execution_time_figure(
-        "fig3", config=TINY, params={"n": 64, "cutoff": 16}
-    )
+    fig = execution_time_figure("fig3", config=TINY, params={"n": 64, "cutoff": 16})
     rows = fig.rows()
     assert [r[0] for r in rows] == [1, 2]
     assert all(r[1] is not None for r in rows)  # hpx completed
@@ -71,7 +69,9 @@ def test_overhead_figure_small():
 
 
 def test_bandwidth_figure_small():
-    fig = bandwidth_figure("fig14", config=TINY, params={"width": 2048, "steps": 16, "chunk": 8, "block": 512})
+    fig = bandwidth_figure(
+        "fig14", config=TINY, params={"width": 2048, "steps": 16, "chunk": 8, "block": 512}
+    )
     assert fig.cores == [1, 2]
     assert all(b > 0 for b in fig.bandwidth_gbs)
     assert fig.bandwidth_gbs[1] > fig.bandwidth_gbs[0]  # more cores, more BW

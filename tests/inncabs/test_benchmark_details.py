@@ -1,10 +1,7 @@
 """Per-benchmark structural details beyond end-to-end verification."""
 
-import pytest
-
 from repro.experiments.runner import run_benchmark
 from repro.inncabs.fib import FibBenchmark
-from repro.inncabs.suite import get_benchmark
 
 
 def test_fib_task_count_formula():
@@ -21,9 +18,7 @@ def test_fib_run_matches_task_count():
 
 
 def test_alignment_pair_task_count():
-    result = run_benchmark(
-        "alignment", runtime="hpx", cores=2, params={"nseq": 6, "seqlen": 40}
-    )
+    result = run_benchmark("alignment", runtime="hpx", cores=2, params={"nseq": 6, "seqlen": 40})
     # C(6,2)=15 pair tasks + the root.
     assert result.tasks_executed == 16
 
@@ -45,9 +40,7 @@ def test_intersim_task_count():
 
 
 def test_floorplan_task_limit_caps_spawning():
-    limited = run_benchmark(
-        "floorplan", runtime="hpx", cores=2, params={"task_limit": 10}
-    )
+    limited = run_benchmark("floorplan", runtime="hpx", cores=2, params={"task_limit": 10})
     unlimited = run_benchmark("floorplan", runtime="hpx", cores=2)
     assert limited.verified and unlimited.verified  # same optimum either way
     assert limited.tasks_created < unlimited.tasks_created
@@ -67,20 +60,14 @@ def test_floorplan_parallel_explores_at_least_sequential_frontier():
 
 
 def test_sort_cutoff_controls_task_count():
-    small = run_benchmark(
-        "sort", runtime="hpx", cores=2, params={"n": 1 << 14, "cutoff": 1 << 12}
-    )
-    fine = run_benchmark(
-        "sort", runtime="hpx", cores=2, params={"n": 1 << 14, "cutoff": 1 << 10}
-    )
+    small = run_benchmark("sort", runtime="hpx", cores=2, params={"n": 1 << 14, "cutoff": 1 << 12})
+    fine = run_benchmark("sort", runtime="hpx", cores=2, params={"n": 1 << 14, "cutoff": 1 << 10})
     assert fine.tasks_executed > 2 * small.tasks_executed
     assert small.verified and fine.verified
 
 
 def test_strassen_task_count_seven_way():
-    result = run_benchmark(
-        "strassen", runtime="hpx", cores=2, params={"n": 128, "cutoff": 32}
-    )
+    result = run_benchmark("strassen", runtime="hpx", cores=2, params={"n": 128, "cutoff": 32})
     # Depth-2 recursion: 1 + 7 + 49 strassen tasks + root driver.
     assert result.tasks_executed == 1 + 7 + 49 + 1
 

@@ -69,8 +69,6 @@ def test_counter_lookup_error_lists_names():
 
 def test_collect_counters_false_is_faster():
     with_counters = run_benchmark("fib", runtime="hpx", cores=1, params={"n": 12})
-    without = run_benchmark(
-        "fib", runtime="hpx", cores=1, params={"n": 12}, collect_counters=False
-    )
+    without = run_benchmark("fib", runtime="hpx", cores=1, params={"n": 12}, collect_counters=False)
     assert without.counters == {}
     assert without.exec_time_ns < with_counters.exec_time_ns

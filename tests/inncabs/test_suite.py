@@ -97,7 +97,5 @@ def test_small_presets_run_quickly_and_verify():
     from repro.inncabs.presets import preset_params
 
     for name in ("fib", "sort", "qap"):
-        result = run_benchmark(
-            name, runtime="hpx", cores=2, params=preset_params(name, "small")
-        )
+        result = run_benchmark(name, runtime="hpx", cores=2, params=preset_params(name, "small"))
         assert result.verified

@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.model.work import Work
 from repro.runtime.config import HpxParams
 from repro.runtime.scheduler import DeadlockError, HpxRuntime
 from repro.simcore.events import Engine

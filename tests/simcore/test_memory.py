@@ -93,6 +93,4 @@ def test_property_contention_never_speeds_up(streams):
 )
 def test_property_cross_socket_never_faster(nbytes, fraction):
     mc = make()
-    assert mc.service_time_ns(nbytes, cross_socket_fraction=fraction) >= mc.service_time_ns(
-        nbytes
-    )
+    assert mc.service_time_ns(nbytes, cross_socket_fraction=fraction) >= mc.service_time_ns(nbytes)

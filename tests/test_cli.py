@@ -99,10 +99,7 @@ def test_figure_small(capsys):
 
 
 def test_table5_single(capsys):
-    assert (
-        main(["table5", "--benchmarks", "fib", "--samples", "1", "--cores-list", "1,2"])
-        == 0
-    )
+    assert (main(["table5", "--benchmarks", "fib", "--samples", "1", "--cores-list", "1,2"]) == 0)
     out = capsys.readouterr().out
     assert "fib" in out and "very fine" in out
 
@@ -115,9 +112,7 @@ def test_run_with_preset(capsys):
 
 
 def test_run_preset_with_param_override(capsys):
-    code = main(
-        ["run", "fib", "--preset", "small", "--param", "n=9", "--no-counters"]
-    )
+    code = main(["run", "fib", "--preset", "small", "--param", "n=9", "--no-counters"])
     assert code == 0
 
 
@@ -160,3 +155,129 @@ def test_run_with_interval_destination(tmp_path, capsys):
     lines = dest.read_text().strip().splitlines()
     assert len(lines) >= 2
     assert all(line.startswith("/threads") for line in lines)
+
+
+def test_campaign_and_compare_roundtrip(tmp_path, capsys):
+    artifact = tmp_path / "campaign.json"
+    argv = [
+        "campaign",
+        "--benchmarks",
+        "fib",
+        "--runtimes",
+        "hpx",
+        "--cores-list",
+        "1,2",
+        "--samples",
+        "2",
+        "--preset",
+        "small",
+        "--jobs",
+        "2",
+        "--cache-dir",
+        str(tmp_path / "cache"),
+        "--out",
+        str(artifact),
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "4 cells" in out and "executed 4" in out
+    assert artifact.exists()
+
+    # Same campaign again: everything is served from the cache.
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "cache hits 4 (100%)" in out and "executed 0" in out
+
+    assert main(["compare", str(artifact), str(artifact), "--threshold", "0.10"]) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out
+
+
+def test_compare_exits_nonzero_on_regression(tmp_path, capsys):
+    import json
+
+    artifact = tmp_path / "campaign.json"
+    assert (
+        main(
+            [
+                "campaign",
+                "--benchmarks",
+                "fib",
+                "--runtimes",
+                "hpx",
+                "--cores-list",
+                "1",
+                "--samples",
+                "1",
+                "--preset",
+                "small",
+                "--no-cache",
+                "--out",
+                str(artifact),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    data = json.loads(artifact.read_text())
+    for cell in data["cells"]:
+        cell["result"]["exec_time_ns"] = round(cell["result"]["exec_time_ns"] * 1.5)
+    slower = tmp_path / "slower.json"
+    slower.write_text(json.dumps(data))
+    assert main(["compare", str(artifact), str(slower), "--threshold", "0.10"]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out and "regression" in out
+
+
+def test_figure_from_artifact(tmp_path, capsys):
+    artifact = tmp_path / "campaign.json"
+    assert (
+        main(
+            [
+                "campaign",
+                "--benchmarks",
+                "strassen",
+                "--cores-list",
+                "1,2",
+                "--samples",
+                "1",
+                "--preset",
+                "small",
+                "--no-cache",
+                "--out",
+                str(artifact),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert main(["figure", "fig3", "--artifact", str(artifact)]) == 0
+    out = capsys.readouterr().out
+    assert "strassen" in out
+
+
+def test_campaign_verbose_progress(tmp_path, capsys):
+    assert (
+        main(
+            [
+                "campaign",
+                "--benchmarks",
+                "fib",
+                "--runtimes",
+                "hpx",
+                "--cores-list",
+                "1",
+                "--samples",
+                "1",
+                "--preset",
+                "small",
+                "--no-cache",
+                "--verbose",
+                "--out",
+                str(tmp_path / "c.json"),
+            ]
+        )
+        == 0
+    )
+    err = capsys.readouterr().err
+    assert "[1/1] fib/hpx cores=1 sample=0" in err

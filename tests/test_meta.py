@@ -2,7 +2,6 @@
 
 from pathlib import Path
 
-import pytest
 
 import repro
 
@@ -63,7 +62,6 @@ def test_all_public_functions_documented():
     contribution) carries a docstring."""
     import inspect
 
-    import repro.counters as counters_pkg
     from repro.counters import base, manager, names, query, registry
 
     undocumented = []

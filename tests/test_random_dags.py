@@ -9,7 +9,6 @@ or misordered any task, the tree checksums would differ.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -46,7 +45,11 @@ def _node_task(ctx, spec: list, index: int, depth: int, shared: dict):
     for c in range(n_children):
         child_index = index * 3 + c + 1
         fut = yield ctx.async_(
-            _node_task, spec, child_index, depth + 1, shared,
+            _node_task,
+            spec,
+            child_index,
+            depth + 1,
+            shared,
             policy=POLICIES[policy_idx],
         )
         futures.append(fut)
@@ -94,9 +97,7 @@ def test_property_hpx_deterministic(spec, cores):
 @settings(max_examples=10)
 @given(tree_spec)
 def test_property_result_independent_of_core_count(spec):
-    values = {
-        cores: _run(HpxRuntime, spec, cores)[0] for cores in (1, 3, 7)
-    }
+    values = {cores: _run(HpxRuntime, spec, cores)[0] for cores in (1, 3, 7)}
     assert len(set(values.values())) == 1
 
 

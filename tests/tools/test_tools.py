@@ -1,6 +1,5 @@
 """External-tool models (Table I)."""
 
-import pytest
 
 from repro.experiments.runner import run_benchmark
 from repro.tools import HPCTOOLKIT, TAU, ToolOutcome, run_with_tool
@@ -66,9 +65,7 @@ def test_overhead_percent_none_when_crashed():
 def test_hpx_counters_beat_tools_on_same_metrics():
     """The paper's core argument: the runtime's own counters collect the
     data the tools crash trying to collect, at ~1% perturbation."""
-    plain = run_benchmark(
-        "fib", runtime="hpx", cores=4, params={"n": 14}, collect_counters=False
-    )
+    plain = run_benchmark("fib", runtime="hpx", cores=4, params={"n": 14}, collect_counters=False)
     counted = run_benchmark("fib", runtime="hpx", cores=4, params={"n": 14})
     perturbation = (counted.exec_time_ns - plain.exec_time_ns) / plain.exec_time_ns
     assert perturbation < 0.35  # vs TAU/HPCT: crash or >300%
