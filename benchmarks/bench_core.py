@@ -1,0 +1,25 @@
+#!/usr/bin/env python3
+"""Event-core microbenchmark — standalone entry point.
+
+Thin wrapper over ``repro bench-core`` so the benchmark can run without
+installing the package::
+
+    python benchmarks/bench_core.py --mode quick --out BENCH_core.json \
+        --baseline results/baseline_core.json
+
+Measures events/sec of the two-tier event engine against the legacy
+binary-heap engine (synthetic patterns + fib/uts/health reference runs)
+and exits non-zero when the engines' simulated results diverge or the
+events/sec ratio regresses past the threshold.  See
+:mod:`repro.experiments.bench_core`.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(["bench-core", *sys.argv[1:]]))

@@ -11,7 +11,7 @@ Run:  python examples/work_span_analysis.py [benchmark]
 
 import sys
 
-from repro.experiments.runner import run_benchmark
+from repro.api import Session
 from repro.inncabs.presets import preset_params
 from repro.inncabs.suite import available_benchmarks, get_benchmark
 from repro.runtime.scheduler import HpxRuntime
@@ -43,9 +43,10 @@ def main() -> None:
     print(f"  avg parallelism      {ws.average_parallelism:10.1f}x   (speedup ceiling)")
 
     print("\nmeasured strong scaling vs the ceiling:")
+    session = Session(runtime="hpx")
     base = None
     for cores in (1, 2, 4, 8, 16):
-        result = run_benchmark(name, runtime="hpx", cores=cores, params=dict(params))
+        result = session.run(name, cores=cores, params=dict(params))
         if base is None:
             base = result.exec_time_ns
         speedup = base / result.exec_time_ns

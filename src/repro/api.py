@@ -1,0 +1,214 @@
+"""One-call session facade — the front door of the reproduction.
+
+Wires an engine, a simulated machine, a runtime, and the counter stack
+together behind two calls::
+
+    from repro.api import Session
+
+    session = Session(runtime="hpx", cores=8)
+    result = session.run("fib", counters=["/threads{locality#0/total}/idle-rate"])
+    print(result.exec_time_ms, result.counters)
+
+A :class:`Session` fixes the *environment* (machine spec, runtime kind,
+default core count, runtime parameters, event-engine factory); each
+:meth:`Session.run` executes one benchmark on a fresh engine and
+machine, so runs never share simulated state and remain bit-for-bit
+deterministic.
+
+The older ``repro.experiments.runner.run_benchmark`` entry point remains
+importable but is deprecated; it now delegates here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.counters.base import CounterEnvironment
+from repro.counters.manager import ActiveCounters
+from repro.counters.registry import build_default_registry
+from repro.experiments.config import DEFAULT_COUNTERS, ExperimentConfig
+from repro.experiments.runner import RunResult
+from repro.inncabs.base import effective_locality_factor
+from repro.inncabs.suite import get_benchmark
+from repro.kernel.config import StdParams
+from repro.kernel.scheduler import StdRuntime
+from repro.papi.hw import PapiSubstrate
+from repro.runtime.config import HpxParams
+from repro.runtime.scheduler import HpxRuntime
+from repro.simcore.events import Engine
+from repro.simcore.machine import Machine, MachineSpec
+
+__all__ = ["Session", "RunResult"]
+
+#: Accepted runtime names.  ``"kernel"`` is an alias for the
+#: ``std::async`` thread-per-task model (it runs on kernel threads).
+_RUNTIME_ALIASES = {"hpx": "hpx", "std": "std", "kernel": "std"}
+
+
+class Session:
+    """A configured simulation environment; ``run()`` executes benchmarks.
+
+    Parameters
+    ----------
+    runtime:
+        ``"hpx"`` for the HPX-style user-level task runtime, ``"std"``
+        (alias ``"kernel"``) for the ``std::async`` kernel-thread model.
+    cores:
+        Default worker/core count for :meth:`run` (overridable per run).
+    machine:
+        :class:`MachineSpec` of the simulated node; defaults to the
+        paper's Table III platform.
+    hpx_params / std_params:
+        Runtime cost models; default to the calibrated paper values.
+    config:
+        A full :class:`ExperimentConfig` to start from instead of the
+        defaults; ``machine``/``hpx_params``/``std_params`` still
+        override its fields when given.
+    engine_factory:
+        Zero-argument callable building the discrete-event engine for
+        each run.  Defaults to :class:`repro.simcore.events.Engine`;
+        ``repro bench-core`` passes the legacy-heap engine here to run
+        both cores side by side.
+    """
+
+    def __init__(
+        self,
+        *,
+        runtime: str = "hpx",
+        cores: int = 1,
+        machine: MachineSpec | None = None,
+        hpx_params: HpxParams | None = None,
+        std_params: StdParams | None = None,
+        config: ExperimentConfig | None = None,
+        engine_factory: Callable[[], Any] | None = None,
+    ) -> None:
+        canonical = _RUNTIME_ALIASES.get(runtime)
+        if canonical is None:
+            expected = ", ".join(sorted(_RUNTIME_ALIASES))
+            raise ValueError(f"unknown runtime {runtime!r}; expected one of {expected}")
+        if cores < 1:
+            raise ValueError(f"cores must be >= 1, got {cores}")
+        self.runtime = canonical
+        self.cores = cores
+        base = config or ExperimentConfig()
+        overrides: dict[str, Any] = {}
+        if machine is not None:
+            overrides["machine"] = machine
+        if hpx_params is not None:
+            overrides["hpx"] = hpx_params
+        if std_params is not None:
+            overrides["std"] = std_params
+        self.config = replace(base, **overrides) if overrides else base
+        self.engine_factory: Callable[[], Any] = engine_factory or Engine
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Session(runtime={self.runtime!r}, cores={self.cores})"
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        benchmark: str,
+        *,
+        params: Mapping[str, Any] | None = None,
+        cores: int | None = None,
+        counters: Sequence[str] | None = None,
+        collect_counters: bool = True,
+        keep_result: bool = False,
+        query_interval_ns: int | None = None,
+        query_sink: Any = None,
+    ) -> RunResult:
+        """Run one benchmark to completion; returns a :class:`RunResult`.
+
+        ``counters`` is a sequence of HPX counter-name specs to collect
+        (defaults to the paper's software + PAPI set).  Counters are an
+        HPX capability, so for the ``std`` runtime only wall time and
+        process statistics are reported.  ``collect_counters=False``
+        disables instrumentation entirely (the Section V-C overhead
+        experiment measures exactly this difference);
+        ``query_interval_ns`` additionally samples the active counters
+        on a fixed in-band interval during the run.
+        """
+        config = self.config
+        ncores = self.cores if cores is None else cores
+        bench = get_benchmark(benchmark)
+        merged = bench.params_with_defaults(params)
+        root_fn, root_args = bench.make_root(merged)
+
+        engine = self.engine_factory()
+        machine = Machine(config.machine)
+        out = RunResult(benchmark=benchmark, runtime=self.runtime, cores=ncores)
+
+        if self.runtime == "hpx":
+            rt: Any = HpxRuntime(
+                engine,
+                machine,
+                num_workers=ncores,
+                params=config.hpx,
+                locality_traffic_factor=effective_locality_factor(
+                    bench.info.hpx_locality_factor, ncores
+                ),
+            )
+            active: ActiveCounters | None = None
+            query = None
+            if collect_counters:
+                env = CounterEnvironment(
+                    engine=engine, runtime=rt, machine=machine, papi=PapiSubstrate(machine)
+                )
+                registry = build_default_registry(env)
+                active = ActiveCounters(registry, counters or DEFAULT_COUNTERS)
+                active.start()
+                active.reset_active_counters()
+                if query_interval_ns is not None:
+                    from repro.counters.query import PeriodicQuery
+
+                    query = PeriodicQuery(
+                        active,
+                        engine=engine,
+                        runtime=rt,
+                        interval_ns=query_interval_ns,
+                        sink=query_sink,
+                        in_band=True,
+                    )
+                    query.start()
+            elif query_interval_ns is not None:
+                raise ValueError("periodic queries need collect_counters=True")
+            future = rt.submit(root_fn, *root_args)
+            engine.run()
+            if not future.is_ready:
+                raise RuntimeError(rt.describe_stall())
+            result = future.value()
+            out.exec_time_ns = engine.now
+            out.tasks_executed = rt.stats.tasks_executed
+            out.tasks_created = rt.stats.tasks_created
+            out.peak_live_tasks = rt.stats.peak_live_tasks
+            if active is not None:
+                values = active.evaluate_active_counters(reset=True)
+                out.counters = {v.name: v.value for v in values}
+            if query is not None:
+                out.query_samples = query.samples
+        else:  # std
+            rt = StdRuntime(engine, machine, num_workers=ncores, params=config.std)
+            future = rt.submit(root_fn, *root_args)
+            engine.run()
+            out.tasks_created = rt.stats.threads_created
+            out.tasks_executed = rt.stats.threads_completed
+            out.peak_live_tasks = rt.stats.peak_live_threads
+            if rt.aborted:
+                out.aborted = True
+                out.abort_reason = rt.abort_reason
+                out.exec_time_ns = engine.now
+                out.engine_events = engine.events_processed
+                return out
+            if not future.is_ready:
+                raise RuntimeError("std run finished without a result")
+            result = future.value()
+            out.exec_time_ns = engine.now
+
+        out.verified = bench.verify(result, merged)
+        if keep_result:
+            out.result = result
+        out.offcore_bytes = machine.total_offcore_bytes()
+        out.engine_events = engine.events_processed
+        return out

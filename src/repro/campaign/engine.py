@@ -48,15 +48,15 @@ class CampaignRun:
 
 def execute_cell(spec: CampaignSpec, cell: Cell) -> dict[str, Any]:
     """Run one cell to completion; the process-pool worker entry point."""
-    from repro.experiments.runner import run_benchmark
+    from repro.api import Session
 
-    result = run_benchmark(
+    session = Session(
+        runtime=cell.runtime, cores=cell.cores, config=spec.experiment_config(cell)
+    )
+    result = session.run(
         cell.benchmark,
-        runtime=cell.runtime,
-        cores=cell.cores,
         params=spec.cell_params(cell),
-        config=spec.experiment_config(cell),
-        counter_specs=spec.counter_specs,
+        counters=spec.counter_specs,
         collect_counters=spec.collect_counters,
     )
     return run_result_to_dict(result)

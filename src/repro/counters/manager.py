@@ -26,6 +26,10 @@ class ActiveCounters:
         self.registry = registry
         self.counters: list[PerformanceCounter] = registry.create_counters(specs)
         self._started = False
+        # Evaluation plan: the bound evaluator of every counter, resolved
+        # once.  Periodic in-band sampling calls this list per tick, so
+        # it skips the per-sample attribute walks over the counter set.
+        self._eval_plan = [c.get_counter_value for c in self.counters]
 
     def __len__(self) -> int:
         return len(self.counters)
@@ -60,7 +64,7 @@ class ActiveCounters:
         *description* tags the sample (the paper labels each sample's
         output); it is attached to the returned values' names when given.
         """
-        values = [c.get_counter_value(reset=reset) for c in self.counters]
+        values = [get(reset=reset) for get in self._eval_plan]
         if description:
             values = [
                 CounterValue(

@@ -119,11 +119,29 @@ def _split_instance(text: str) -> tuple[str, str | None, str]:
     raise CounterNameError(f"unbalanced braces in counter name: {text!r}")
 
 
+# Parsed-name cache: campaigns and harness loops re-parse the same spec
+# strings for every run, and CounterName is a frozen value object, so
+# the results can be shared.  Bounded to keep adversarial input finite.
+_PARSE_CACHE: dict[str, CounterName] = {}
+_PARSE_CACHE_MAX = 4096
+
+
 def parse_counter_name(text: str) -> CounterName:
     """Parse a counter-name string into a :class:`CounterName`.
 
-    Raises :class:`CounterNameError` on malformed input.
+    Raises :class:`CounterNameError` on malformed input.  Successful
+    parses are cached (the grammar is pure, the result immutable).
     """
+    cached = _PARSE_CACHE.get(text)
+    if cached is not None:
+        return cached
+    name = _parse_uncached(text)
+    if len(_PARSE_CACHE) < _PARSE_CACHE_MAX:
+        _PARSE_CACHE[text] = name
+    return name
+
+
+def _parse_uncached(text: str) -> CounterName:
     text = text.strip()
     object_name, instance, rest = _split_instance(text)
     if not _OBJECT_RE.match(object_name):

@@ -55,6 +55,12 @@ class PeriodicQuery:
         self.in_band = in_band
         self.reset_each_sample = reset_each_sample
         self._running = False
+        # Sampling epoch: bumped on every start().  Ticks and in-band
+        # query tasks carry the epoch they were armed under, so a tick
+        # that raced with stop() (or a stop/start cycle) is discarded
+        # instead of re-arming a second sampling chain.
+        self._epoch = 0
+        self._timer: Any = None  # Timer handle of the armed tick
         if in_band and runtime is None:
             raise ValueError("in-band queries need a runtime")
 
@@ -65,11 +71,20 @@ class PeriodicQuery:
         if self._running:
             return
         self._running = True
+        self._epoch += 1
         self.active.start()
-        self.engine.schedule(self.interval_ns, self._tick)
+        self._timer = self.engine.schedule(self.interval_ns, self._tick, self._epoch)
 
     def stop(self) -> None:
+        """Stop sampling.  Idempotent: a second stop (or a stale in-band
+        query finishing after an explicit stop) is a no-op, so counter
+        instrumentation is only unregistered once."""
+        if not self._running:
+            return
         self._running = False
+        timer, self._timer = self._timer, None
+        if timer is not None and timer.active:
+            timer.cancel()
         self.active.stop()
 
     # -- internals -----------------------------------------------------------
@@ -77,25 +92,31 @@ class PeriodicQuery:
     def _app_live(self) -> bool:
         return self.runtime is None or self.runtime.stats.live_tasks > 0
 
-    def _tick(self) -> None:
-        if not self._running:
-            return
+    def _arm(self) -> None:
+        self._timer = self.engine.schedule(self.interval_ns, self._tick, self._epoch)
+
+    def _tick(self, epoch: int) -> None:
+        self._timer = None
+        if not self._running or epoch != self._epoch:
+            return  # stale tick: stop() raced with this event
         if not self._app_live():
             self.stop()
             return
         if self.in_band:
-            self.runtime.submit(self._query_task)
+            self.runtime.submit(self._query_task, epoch)
         else:
             self._record()
-            self.engine.schedule(self.interval_ns, self._tick)
+            self._arm()
 
-    def _query_task(self, ctx: Any) -> Any:
+    def _query_task(self, ctx: Any, epoch: int) -> Any:
         """The in-band query: an HPX task costing time per counter."""
         cost = QUERY_COST_PER_COUNTER_NS * len(self.active)
         yield ctx.compute(cost)
+        if not self._running or epoch != self._epoch:
+            return None  # stopped while the query task was in flight
         self._record()
-        if self._running and self._app_live():
-            self.engine.schedule(self.interval_ns, self._tick)
+        if self._app_live():
+            self._arm()
         else:
             self.stop()
         return None

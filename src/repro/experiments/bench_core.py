@@ -1,0 +1,514 @@
+"""Event-core microbenchmark: events/sec, tracked against a baseline.
+
+``repro bench-core`` (and the ``benchmarks/bench_core.py`` script)
+measures the discrete-event hot path two ways and emits a
+``BENCH_core.json`` artifact:
+
+- **core patterns** — synthetic event streams pumped straight through
+  the engine: a shallow self-rescheduling ``chain`` (queue depth ~1,
+  the fib profile) and a ``fanout`` of a thousand concurrent chains
+  (deep calendar ring, the intersim/health profile).  Each pattern runs
+  on the current two-tier engine and on the legacy binary-heap engine
+  (:mod:`repro.simcore.events_legacy`, the pre-optimisation event core
+  kept verbatim as the oracle) and must finish with identical
+  ``(now, events_processed)``;
+- **reference runs** — full fib/uts/health simulations driven through
+  :class:`repro.api.Session`, once per engine via ``engine_factory``.
+  The two engines must produce bit-identical simulated results (same
+  ``exec_time_ns``, same event count, same counter values) — the
+  determinism contract that makes the campaign cache and the regression
+  gates sound.  Each workload's event stream (every scheduled delay,
+  grouped by the dispatching event) is also recorded and *replayed*
+  through both engines with no-op callbacks: the replay reproduces the
+  run's exact queue dynamics — same timestamps, same depths, same tie
+  batches — while stripping away scheduler and machine-model work, so
+  its events/sec isolates the event core itself.  The headline
+  acceptance number is the fib(26) replay speedup.
+
+The regression gate compares *speedup ratios* (current engine ÷ legacy
+engine events/sec), not raw events/sec: the legacy engine runs in the
+same process on the same machine, so the ratio cancels host speed and
+lets one committed ``results/baseline_core.json`` serve every CI
+runner.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from array import array
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+SCHEMA = "repro-bench-core/1"
+
+#: Reference workloads: name -> (benchmark, runtime, cores, params).
+#: ``quick`` keeps the CI perf-smoke step in tens of seconds; the
+#: ``reference`` inputs (fib(26)) are the acceptance-run sizes.
+REFERENCE_RUNS: dict[str, dict[str, tuple[str, str, int, dict[str, Any]]]] = {
+    "quick": {
+        "fib": ("fib", "hpx", 8, {"n": 20}),
+        "uts": ("uts", "hpx", 8, {}),
+        "health": ("health", "hpx", 8, {}),
+    },
+    "reference": {
+        "fib": ("fib", "hpx", 8, {"n": 26}),
+        "uts": ("uts", "hpx", 8, {"b0": 120, "m": 4, "q": 0.31, "max_depth": 24}),
+        "health": ("health", "hpx", 8, {"levels": 7, "branching": 4, "steps": 12}),
+    },
+}
+
+_CHAIN_EVENTS = 200_000
+_FANOUT_CHAINS = 1_000
+_FANOUT_STEPS = 200
+
+
+@dataclass
+class CorePattern:
+    """One synthetic pattern's throughput on both engines."""
+
+    pattern: str
+    events: int
+    new_eps: float
+    legacy_eps: float
+
+    @property
+    def speedup(self) -> float:
+        return self.new_eps / self.legacy_eps
+
+
+@dataclass
+class ReferenceRun:
+    """One full-simulation workload on both engines.
+
+    ``new_wall_s``/``legacy_wall_s`` time the *complete* simulation
+    (scheduler + machine model + event core); ``replay_new_eps`` /
+    ``replay_legacy_eps`` time the recorded event stream replayed with
+    no-op callbacks — the event core alone, at this workload's exact
+    queue dynamics.
+    """
+
+    name: str
+    benchmark: str
+    runtime: str
+    cores: int
+    params: dict[str, Any]
+    events: int
+    exec_time_ns: int
+    new_wall_s: float
+    legacy_wall_s: float
+    replay_new_eps: float
+    replay_legacy_eps: float
+    identical: bool
+
+    @property
+    def new_eps(self) -> float:
+        return self.events / self.new_wall_s
+
+    @property
+    def legacy_eps(self) -> float:
+        return self.events / self.legacy_wall_s
+
+    @property
+    def speedup(self) -> float:
+        """End-to-end simulation speedup (both runs share all non-core work)."""
+        return self.legacy_wall_s / self.new_wall_s
+
+    @property
+    def core_speedup(self) -> float:
+        """Event-core speedup on this workload's replayed stream."""
+        return self.replay_new_eps / self.replay_legacy_eps
+
+
+@dataclass
+class BenchCoreResult:
+    """The full artifact: synthetic patterns + reference runs."""
+
+    mode: str
+    core: list[CorePattern] = field(default_factory=list)
+    runs: list[ReferenceRun] = field(default_factory=list)
+
+    @property
+    def deterministic(self) -> bool:
+        return all(r.identical for r in self.runs)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"schema": SCHEMA, "mode": self.mode}
+        out["core"] = [
+            {**asdict(p), "speedup": round(p.speedup, 4)} for p in self.core
+        ]
+        out["runs"] = [
+            {
+                **asdict(r),
+                "new_eps": round(r.new_eps, 1),
+                "legacy_eps": round(r.legacy_eps, 1),
+                "speedup": round(r.speedup, 4),
+                "core_speedup": round(r.core_speedup, 4),
+            }
+            for r in self.runs
+        ]
+        return out
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+
+# -- synthetic core patterns -----------------------------------------------
+
+
+def _drive_chain(engine: Any) -> None:
+    """Queue depth ~1: each event schedules its successor (fib profile)."""
+    count = [0]
+    call_later = engine.call_later
+
+    def tick(k: int) -> None:
+        count[0] += 1
+        if count[0] < _CHAIN_EVENTS:
+            call_later(3 if count[0] % 7 else 0, tick, k + 1)
+
+    call_later(1, tick, 0)
+    engine.run()
+
+
+def _drive_fanout(engine: Any) -> None:
+    """Queue depth ~1000: concurrent chains with mixed delays."""
+    call_later = engine.call_later
+
+    def tick(k: int, left: int) -> None:
+        if left:
+            call_later(5 + (k % 11), tick, k, left - 1)
+
+    for k in range(_FANOUT_CHAINS):
+        call_later(1 + (k % 13), tick, k, _FANOUT_STEPS - 1)
+    engine.run()
+
+
+_PATTERNS: dict[str, Callable[[Any], None]] = {
+    "chain": _drive_chain,
+    "fanout": _drive_fanout,
+}
+
+
+def _time_pattern(drive: Callable[[Any], None], factory: Callable[[], Any]) -> tuple[float, int, int]:
+    engine = factory()
+    t0 = time.perf_counter()
+    drive(engine)
+    wall = time.perf_counter() - t0
+    return wall, engine.now, engine.events_processed
+
+
+def run_core_patterns(repeat: int = 3) -> list[CorePattern]:
+    """Pump each synthetic pattern through both engines, interleaved.
+
+    Takes the best of *repeat* interleaved (new, legacy) pairs so a
+    noisy host biases both engines alike.  Raises ``RuntimeError`` if
+    the engines disagree on the final clock or event count.
+    """
+    from repro.simcore.events import Engine
+    from repro.simcore.events_legacy import LegacyEngine
+
+    out = []
+    for name, drive in _PATTERNS.items():
+        best_new = best_legacy = float("inf")
+        events = 0
+        for _ in range(repeat):
+            new_wall, new_now, new_events = _time_pattern(drive, Engine)
+            legacy_wall, legacy_now, legacy_events = _time_pattern(drive, LegacyEngine)
+            if (new_now, new_events) != (legacy_now, legacy_events):
+                raise RuntimeError(
+                    f"core pattern {name!r} diverged: "
+                    f"new=({new_now}, {new_events}) legacy=({legacy_now}, {legacy_events})"
+                )
+            best_new = min(best_new, new_wall)
+            best_legacy = min(best_legacy, legacy_wall)
+            events = new_events
+        out.append(
+            CorePattern(
+                pattern=name,
+                events=events,
+                new_eps=events / best_new,
+                legacy_eps=events / best_legacy,
+            )
+        )
+    return out
+
+
+# -- reference runs --------------------------------------------------------
+
+
+class _RecordingEngine:
+    """Engine wrapper noting every scheduled delay by dispatching event.
+
+    ``groups[i]``/``delays[i]`` pairs say "the *i*-th dispatched event
+    scheduled a new event ``delays[i]`` ns ahead" (group 0 is the
+    pre-run setup).  Dispatch order is deterministic, so the pairs are
+    produced — and can be replayed — in non-decreasing group order.
+    """
+
+    def __init__(self) -> None:
+        from repro.simcore.events import Engine
+
+        self._engine = Engine()
+        self.dispatched = 0  # events fired so far (own count: the engine
+        # batches its public counter and only flushes it after run())
+        self.groups: array = array("q")
+        self.delays: array = array("q")
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._engine, name)
+
+    def _wrap(self, callback: Callback) -> Callback:
+        def fired(*args: Any) -> Any:
+            self.dispatched += 1
+            return callback(*args)
+
+        return fired
+
+    def _note(self, delay: int) -> None:
+        self.groups.append(self.dispatched)
+        self.delays.append(delay)
+
+    def call_later(self, delay: int, callback: Callback, *args: Any) -> None:
+        self._note(delay)
+        self._engine.call_later(delay, self._wrap(callback), *args)
+
+    def call_at(self, time_: int, callback: Callback, *args: Any) -> None:
+        self._note(time_ - self._engine.now)
+        self._engine.call_at(time_, self._wrap(callback), *args)
+
+    def schedule(self, delay: int, callback: Callback, *args: Any) -> Any:
+        self._note(delay)
+        return self._engine.schedule(delay, self._wrap(callback), *args)
+
+    def schedule_at(self, time_: int, callback: Callback, *args: Any) -> Any:
+        self._note(time_ - self._engine.now)
+        return self._engine.schedule_at(time_, self._wrap(callback), *args)
+
+
+Callback = Callable[..., Any]
+
+
+def _replay_stream(groups: array, delays: array, factory: Callable[[], Any]) -> tuple[float, int, int]:
+    """Replay a recorded delay stream with no-op callbacks.
+
+    Reproduces the recorded run's exact (time, seq) queue dynamics —
+    the engine under test does all the same pushes and pops, only the
+    simulation work inside each callback is gone.  Callbacks carry one
+    positional argument, like every real scheduler push: on the legacy
+    engine that exercises the per-event closure bind the pre-PR call
+    sites paid.
+    """
+    engine = factory()
+    call_later = engine.call_later
+    n = len(groups)
+    state = [0, 0]  # dispatched count, stream cursor
+
+    def fire(_arg: int) -> None:
+        k = state[0] + 1
+        state[0] = k
+        c = state[1]
+        while c < n and groups[c] == k:
+            call_later(delays[c], fire, k)
+            c += 1
+        state[1] = c
+
+    c = 0
+    while c < n and groups[c] == 0:
+        call_later(delays[c], fire, 0)
+        c += 1
+    state[1] = c
+    t0 = time.perf_counter()
+    engine.run()
+    wall = time.perf_counter() - t0
+    return wall, engine.now, engine.events_processed
+
+
+def _record_stream(
+    benchmark: str, runtime: str, cores: int, params: Mapping[str, Any]
+) -> tuple[array, array, Any]:
+    recorder = _RecordingEngine()
+    _, result = _run_once(benchmark, runtime, cores, params, lambda: recorder)
+    return recorder.groups, recorder.delays, result
+
+
+def _run_once(
+    benchmark: str, runtime: str, cores: int, params: Mapping[str, Any], factory: Any
+) -> tuple[float, Any]:
+    from repro.api import Session
+
+    session = Session(runtime=runtime, cores=cores, engine_factory=factory)
+    t0 = time.perf_counter()
+    result = session.run(benchmark, params=params)
+    return time.perf_counter() - t0, result
+
+
+def _same_results(a: Any, b: Any) -> bool:
+    return (
+        a.exec_time_ns == b.exec_time_ns
+        and a.engine_events == b.engine_events
+        and a.counters == b.counters
+        and a.tasks_executed == b.tasks_executed
+        and a.verified == b.verified
+    )
+
+
+def run_reference(
+    mode: str = "quick",
+    *,
+    names: list[str] | None = None,
+    repeat: int = 2,
+    progress: Callable[[str], None] | None = None,
+) -> list[ReferenceRun]:
+    """Run the reference workloads on both engines, interleaved."""
+    from repro.simcore.events import Engine
+    from repro.simcore.events_legacy import LegacyEngine
+
+    table = REFERENCE_RUNS[mode]
+    out = []
+    for name in names or list(table):
+        benchmark, runtime, cores, params = table[name]
+        if progress is not None:
+            progress(f"{name}: {benchmark} [{runtime}, {cores} cores] {params or '(defaults)'}")
+        best_new = best_legacy = float("inf")
+        identical = True
+        new_result: Any = None
+        for _ in range(repeat):
+            new_wall, new_result = _run_once(benchmark, runtime, cores, params, Engine)
+            legacy_wall, legacy_result = _run_once(benchmark, runtime, cores, params, LegacyEngine)
+            identical = identical and _same_results(new_result, legacy_result)
+            best_new = min(best_new, new_wall)
+            best_legacy = min(best_legacy, legacy_wall)
+        # Record the event stream once, then replay it through both
+        # engines: the event core at this workload's exact dynamics.
+        groups, delays, recorded = _record_stream(benchmark, runtime, cores, params)
+        identical = identical and _same_results(new_result, recorded)
+        best_replay_new = best_replay_legacy = float("inf")
+        for _ in range(repeat):
+            wall, now, events = _replay_stream(groups, delays, Engine)
+            if (now, events) != (recorded.exec_time_ns, recorded.engine_events):
+                raise RuntimeError(
+                    f"{name} replay diverged on the current engine: "
+                    f"({now}, {events}) != ({recorded.exec_time_ns}, {recorded.engine_events})"
+                )
+            best_replay_new = min(best_replay_new, wall)
+            wall, now, events = _replay_stream(groups, delays, LegacyEngine)
+            if (now, events) != (recorded.exec_time_ns, recorded.engine_events):
+                raise RuntimeError(
+                    f"{name} replay diverged on the legacy engine: "
+                    f"({now}, {events}) != ({recorded.exec_time_ns}, {recorded.engine_events})"
+                )
+            best_replay_legacy = min(best_replay_legacy, wall)
+        out.append(
+            ReferenceRun(
+                name=name,
+                benchmark=benchmark,
+                runtime=runtime,
+                cores=cores,
+                params=dict(params),
+                events=new_result.engine_events,
+                exec_time_ns=new_result.exec_time_ns,
+                new_wall_s=best_new,
+                legacy_wall_s=best_legacy,
+                replay_new_eps=recorded.engine_events / best_replay_new,
+                replay_legacy_eps=recorded.engine_events / best_replay_legacy,
+                identical=identical,
+            )
+        )
+    return out
+
+
+def run_bench_core(
+    mode: str = "quick",
+    *,
+    names: list[str] | None = None,
+    repeat: int = 2,
+    progress: Callable[[str], None] | None = None,
+) -> BenchCoreResult:
+    """Full bench-core pass: synthetic patterns + reference runs."""
+    core = run_core_patterns()
+    runs = run_reference(mode, names=names, repeat=repeat, progress=progress)
+    return BenchCoreResult(mode=mode, core=core, runs=runs)
+
+
+# -- regression gate -------------------------------------------------------
+
+
+@dataclass
+class GateFailure:
+    """One gated metric that regressed beyond the threshold."""
+
+    metric: str
+    baseline: float
+    current: float
+    threshold: float
+
+    def __str__(self) -> str:
+        drop = 1 - self.current / self.baseline
+        return (
+            f"{self.metric}: speedup ratio {self.current:.3f} vs baseline "
+            f"{self.baseline:.3f} ({drop:.0%} drop > {self.threshold:.0%} allowed)"
+        )
+
+
+def compare_to_baseline(
+    current: Mapping[str, Any], baseline: Mapping[str, Any], *, threshold: float = 0.20
+) -> list[GateFailure]:
+    """Gate *current* against *baseline* (both ``to_dict()`` payloads).
+
+    Compares the new÷legacy events/sec ratio per metric — the in-process
+    legacy engine is the machine-speed control, so the committed
+    baseline transfers across hosts.  A metric fails when its ratio
+    drops more than *threshold* below the baseline's.
+    """
+    failures = []
+    for kind, ratio in (("core", "speedup"), ("runs", "core_speedup")):
+        base_rows = {row.get("pattern") or row.get("name"): row for row in baseline.get(kind, [])}
+        for row in current.get(kind, []):
+            key = row.get("pattern") or row.get("name")
+            base = base_rows.get(key)
+            if base is None:
+                continue
+            if row[ratio] < base[ratio] * (1 - threshold):
+                failures.append(
+                    GateFailure(
+                        metric=f"{kind}/{key}",
+                        baseline=base[ratio],
+                        current=row[ratio],
+                        threshold=threshold,
+                    )
+                )
+    return failures
+
+
+def is_bench_core_payload(payload: Any) -> bool:
+    """True if *payload* (parsed JSON) is a bench-core artifact."""
+    return isinstance(payload, Mapping) and payload.get("schema") == SCHEMA
+
+
+def render(result: BenchCoreResult) -> str:
+    """Human-readable report table."""
+    lines = [f"bench-core [{result.mode}]", "", "event-core patterns (synthetic):"]
+    for p in result.core:
+        lines.append(
+            f"  {p.pattern:8s} {p.events:>9,d} events   "
+            f"new {p.new_eps / 1e3:8.0f}k ev/s   legacy {p.legacy_eps / 1e3:8.0f}k ev/s   "
+            f"{p.speedup:5.2f}x"
+        )
+    lines.append("")
+    lines.append("reference runs (full simulation, both engines):")
+    for r in result.runs:
+        det = "bit-identical" if r.identical else "DIVERGED"
+        lines.append(
+            f"  {r.name:8s} {r.events:>9,d} events   "
+            f"new {r.new_wall_s:6.2f}s ({r.new_eps / 1e3:6.0f}k ev/s)   "
+            f"legacy {r.legacy_wall_s:6.2f}s   {r.speedup:5.2f}x   [{det}]"
+        )
+    lines.append("")
+    lines.append("event core on the replayed streams (no-op callbacks):")
+    for r in result.runs:
+        lines.append(
+            f"  {r.name:8s} new {r.replay_new_eps / 1e3:8.0f}k ev/s   "
+            f"legacy {r.replay_legacy_eps / 1e3:8.0f}k ev/s   {r.core_speedup:5.2f}x"
+        )
+    return "\n".join(lines)

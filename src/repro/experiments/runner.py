@@ -5,24 +5,20 @@ build the simulated node, run the benchmark to completion under the
 chosen runtime, verify the computed result, and — for HPX — evaluate
 the performance counters for the sample exactly as the paper does with
 ``hpx::evaluate_active_counters`` / ``reset_active_counters``.
+
+.. deprecated::
+    :func:`run_benchmark` is kept for backwards compatibility; new code
+    should use :class:`repro.api.Session`, which fixes the environment
+    once and runs benchmarks against it.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
-from repro.counters.base import CounterEnvironment
-from repro.counters.manager import ActiveCounters
-from repro.counters.registry import build_default_registry
-from repro.experiments.config import DEFAULT_COUNTERS, ExperimentConfig
-from repro.inncabs.base import effective_locality_factor
-from repro.inncabs.suite import get_benchmark
-from repro.kernel.scheduler import StdRuntime
-from repro.papi.hw import PapiSubstrate
-from repro.runtime.scheduler import HpxRuntime
-from repro.simcore.events import Engine
-from repro.simcore.machine import Machine
+from repro.experiments.config import ExperimentConfig
 
 
 @dataclass
@@ -92,87 +88,28 @@ def run_benchmark(
     counters are sampled every interval *during* the run, each sample
     delivered to ``query_sink`` (a callable taking a list of
     CounterValue rows) and collected on ``RunResult.query_samples``.
+
+    .. deprecated::
+        Use :class:`repro.api.Session`::
+
+            Session(runtime=runtime, cores=cores).run(benchmark, ...)
     """
-    config = config or ExperimentConfig()
-    bench = get_benchmark(benchmark)
-    merged = bench.params_with_defaults(params)
-    root_fn, root_args = bench.make_root(merged)
+    warnings.warn(
+        "run_benchmark() is deprecated; use repro.api.Session instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api import Session  # late import: api builds on this module
 
-    engine = Engine()
-    machine = Machine(config.machine)
-    out = RunResult(benchmark=benchmark, runtime=runtime, cores=cores)
-
-    if runtime == "hpx":
-        rt: Any = HpxRuntime(
-            engine,
-            machine,
-            num_workers=cores,
-            params=config.hpx,
-            locality_traffic_factor=effective_locality_factor(
-                bench.info.hpx_locality_factor, cores
-            ),
-        )
-        active: ActiveCounters | None = None
-        query = None
-        if collect_counters:
-            env = CounterEnvironment(
-                engine=engine, runtime=rt, machine=machine, papi=PapiSubstrate(machine)
-            )
-            registry = build_default_registry(env)
-            active = ActiveCounters(registry, counter_specs or DEFAULT_COUNTERS)
-            active.start()
-            active.reset_active_counters()
-            if query_interval_ns is not None:
-                from repro.counters.query import PeriodicQuery
-
-                query = PeriodicQuery(
-                    active,
-                    engine=engine,
-                    runtime=rt,
-                    interval_ns=query_interval_ns,
-                    sink=query_sink,
-                    in_band=True,
-                )
-                query.start()
-        elif query_interval_ns is not None:
-            raise ValueError("periodic queries need collect_counters=True")
-        future = rt.submit(root_fn, *root_args)
-        engine.run()
-        if not future.is_ready:
-            raise RuntimeError(rt.describe_stall())
-        result = future.value()
-        out.exec_time_ns = engine.now
-        out.tasks_executed = rt.stats.tasks_executed
-        out.tasks_created = rt.stats.tasks_created
-        out.peak_live_tasks = rt.stats.peak_live_tasks
-        if active is not None:
-            values = active.evaluate_active_counters(reset=True)
-            out.counters = {v.name: v.value for v in values}
-        if query is not None:
-            out.query_samples = query.samples
-    elif runtime == "std":
-        rt = StdRuntime(engine, machine, num_workers=cores, params=config.std)
-        future = rt.submit(root_fn, *root_args)
-        engine.run()
-        out.tasks_created = rt.stats.threads_created
-        out.tasks_executed = rt.stats.threads_completed
-        out.peak_live_tasks = rt.stats.peak_live_threads
-        if rt.aborted:
-            out.aborted = True
-            out.abort_reason = rt.abort_reason
-            out.exec_time_ns = engine.now
-            out.engine_events = engine.events_processed
-            return out
-        if not future.is_ready:
-            raise RuntimeError("std run finished without a result")
-        result = future.value()
-        out.exec_time_ns = engine.now
-    else:
+    if runtime not in ("hpx", "std"):
         raise ValueError(f"unknown runtime {runtime!r}; expected 'hpx' or 'std'")
-
-    out.verified = bench.verify(result, merged)
-    if keep_result:
-        out.result = result
-    out.offcore_bytes = machine.total_offcore_bytes()
-    out.engine_events = engine.events_processed
-    return out
+    session = Session(runtime=runtime, cores=cores, config=config)
+    return session.run(
+        benchmark,
+        params=params,
+        counters=counter_specs,
+        collect_counters=collect_counters,
+        keep_result=keep_result,
+        query_interval_ns=query_interval_ns,
+        query_sink=query_sink,
+    )

@@ -7,7 +7,7 @@ from typing import Any, Mapping, Sequence
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.harness import run_strong_scaling
-from repro.experiments.runner import run_benchmark
+from repro.api import Session
 from repro.inncabs.suite import available_benchmarks, get_benchmark
 from repro.tools import HPCTOOLKIT, TAU, ToolOutcome, ToolRunResult, run_with_tool
 
@@ -54,7 +54,7 @@ def table1(
     config = config or ExperimentConfig()
     rows = []
     for name in benchmarks or available_benchmarks():
-        base = run_benchmark(name, runtime="std", cores=cores, config=config)
+        base = Session(runtime="std", cores=cores, config=config).run(name)
         rows.append(
             Table1Row(
                 benchmark=name,

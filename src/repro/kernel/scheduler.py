@@ -21,7 +21,7 @@ from repro.model.future import SimFuture, ThrowValue, resume_payload, resume_pay
 from repro.model.work import Work
 from repro.kernel.config import StdParams
 from repro.kernel.thread import OSThread, ThreadState
-from repro.runtime.policies import LaunchPolicy
+from repro.runtime.policies import LaunchPolicy, _BY_NAME as _POLICY_BY_NAME
 from repro.simcore.events import Engine
 from repro.simcore.machine import Machine
 from repro.simcore.topology import BindMode, Topology
@@ -31,7 +31,7 @@ class ResourceExhausted(RuntimeError):
     """The process ran out of memory for thread stacks (paper: 'Abort')."""
 
 
-@dataclass
+@dataclass(slots=True)
 class StdStats:
     """Process-wide accounting for the kernel model."""
 
@@ -184,9 +184,11 @@ class StdRuntime:
 
     def _commit_memory(self, thread: OSThread) -> None:
         thread.committed = True
-        self.stats.live_threads += 1
-        self.stats.peak_live_threads = max(self.stats.peak_live_threads, self.stats.live_threads)
-        self.stats.committed_bytes += self.params.thread_commit_bytes
+        stats = self.stats
+        stats.live_threads += 1
+        if stats.live_threads > stats.peak_live_threads:
+            stats.peak_live_threads = stats.live_threads
+        stats.committed_bytes += self.params.thread_commit_bytes
         if self.stats.committed_bytes > self.params.ram_budget_bytes:
             self._abort(
                 f"thread stacks exhausted memory: {self.stats.live_threads} live "
@@ -233,7 +235,7 @@ class StdRuntime:
             cost = self.params.context_switch_ns + self._lock_delay(self.params.runqueue_hold_ns)
             thread.overhead_ns += cost
             self.stats.overhead_ns += cost
-            self.engine.schedule(cost, lambda c=core, t=thread: self._run(c, t))
+            self.engine.call_later(cost, self._run, core, thread)
 
     def _free_core(self, core: _KCore) -> None:
         core.current = None
@@ -255,10 +257,12 @@ class StdRuntime:
     def _step(self, core: _KCore, thread: OSThread, send_value: Any) -> None:
         if self.aborted:
             return
-        gen = thread.bind(TaskContext(self, thread))
+        gen = thread.gen
+        if gen is None:  # first activation: bind the body to its context
+            gen = thread.bind(TaskContext(self, thread))
         thread.pending_send = None
         try:
-            if isinstance(send_value, ThrowValue):
+            if send_value.__class__ is ThrowValue:
                 effect = gen.throw(send_value.exc)
             else:
                 effect = gen.send(send_value)
@@ -271,19 +275,20 @@ class StdRuntime:
         self._dispatch_effect(core, thread, effect)
 
     def _dispatch_effect(self, core: _KCore, thread: OSThread, effect: Any) -> None:
-        if isinstance(effect, Compute):
+        cls = effect.__class__
+        if cls is Compute:
             self._do_compute(core, thread, effect.work)
-        elif isinstance(effect, Spawn):
+        elif cls is Spawn:
             self._do_spawn(core, thread, effect)
-        elif isinstance(effect, Await):
+        elif cls is Await:
             self._do_await(core, thread, effect.future)
-        elif isinstance(effect, AwaitAll):
+        elif cls is AwaitAll:
             self._do_await_all(core, thread, effect.futures)
-        elif isinstance(effect, Lock):
+        elif cls is Lock:
             self._do_lock(core, thread, effect.mutex)
-        elif isinstance(effect, Unlock):
+        elif cls is Unlock:
             self._do_unlock(core, thread, effect.mutex)
-        elif isinstance(effect, YieldNow):
+        elif cls is YieldNow:
             self._do_yield(core, thread)
         else:
             self._fail(core, thread, TypeError(f"thread yielded non-effect {effect!r}"))
@@ -323,25 +328,28 @@ class StdRuntime:
         duration = ticket.duration_ns
         thread.exec_ns += duration
         self.stats.exec_ns += duration
+        self.engine.call_later(duration, self._finish_compute, core, thread, ticket, part, rest)
 
-        def finish() -> None:
-            self.machine.segment_end(ticket, part)
-            if rest is not None:
-                self.stats.preemptions += 1
-                thread.preempted_work = rest
-                thread.state = ThreadState.RUNNABLE
-                self.run_queue.append(thread)
-                self._free_core(core)
-            else:
-                self._step(core, thread, None)
-
-        self.engine.schedule(duration, finish)
+    def _finish_compute(
+        self, core: _KCore, thread: OSThread, ticket: Any, part: Work, rest: Work | None
+    ) -> None:
+        self.machine.segment_end(ticket, part)
+        if rest is not None:
+            self.stats.preemptions += 1
+            thread.preempted_work = rest
+            thread.state = ThreadState.RUNNABLE
+            self.run_queue.append(thread)
+            self._free_core(core)
+        else:
+            self._step(core, thread, None)
 
     # -- spawn ---------------------------------------------------------------
 
     def _do_spawn(self, core: _KCore, thread: OSThread, effect: Spawn) -> None:
-        policy = LaunchPolicy.parse(effect.policy)
-        if policy in (LaunchPolicy.ASYNC, LaunchPolicy.FORK):
+        policy = _POLICY_BY_NAME.get(effect.policy)
+        if policy is None:
+            policy = LaunchPolicy.parse(effect.policy)
+        if policy is LaunchPolicy.ASYNC or policy is LaunchPolicy.FORK:
             # fork does not exist in std; Inncabs maps it to async.
             cost = self.params.thread_create_ns + self._lock_delay(self.params.create_hold_ns)
             child = self._make_thread(effect.fn, effect.args, home_socket=core.socket)
@@ -350,12 +358,7 @@ class StdRuntime:
             thread.exec_ns += cost
             self.stats.exec_ns += cost
             self.run_queue.append(child)
-
-            def created() -> None:
-                self._dispatch()
-                self._step(core, thread, child.future)
-
-            self.engine.schedule(cost, created)
+            self.engine.call_later(cost, self._created, core, thread, child)
             return
         if policy is LaunchPolicy.DEFERRED:
             child = self._make_thread(
@@ -364,11 +367,17 @@ class StdRuntime:
             cost = self.params.future_get_ready_ns
             thread.exec_ns += cost
             self.stats.exec_ns += cost
-            self.engine.schedule(cost, lambda: self._step(core, thread, child.future))
+            self.engine.call_later(cost, self._step, core, thread, child.future)
             return
         # SYNC: run inline on this thread, borrowing the core.
         child = self._make_thread(effect.fn, effect.args, home_socket=core.socket, deferred=True)
         self._run_inline(core, thread, child, send_future=True)
+
+    def _created(self, core: _KCore, thread: OSThread, child: OSThread) -> None:
+        """An async spawn finished creating its thread: dispatch it and
+        resume the parent with the child's future."""
+        self._dispatch()
+        self._step(core, thread, child.future)
 
     def _run_inline(
         self, core: _KCore, thread: OSThread, child: OSThread, *, send_future: bool
@@ -395,7 +404,7 @@ class StdRuntime:
             thread.exec_ns += cost
             self.stats.exec_ns += cost
             payload = resume_payload(future)
-            self.engine.schedule(cost, lambda: self._step(core, thread, payload))
+            self.engine.call_later(cost, self._step, core, thread, payload)
             return
         producer = future.producer_task
         if isinstance(producer, OSThread) and producer.state is ThreadState.DEFERRED:
@@ -407,7 +416,7 @@ class StdRuntime:
         self.stats.blocks += 1
         thread.state = ThreadState.BLOCKED
         future.on_ready(lambda fut: self._wake(thread, resume_payload(fut)))
-        self.engine.schedule(cost, lambda: self._free_core(core))
+        self.engine.call_later(cost, self._free_core, core)
 
     def _do_await_all(self, core: _KCore, thread: OSThread, futures: tuple) -> None:
         for fut in futures:
@@ -432,7 +441,7 @@ class StdRuntime:
             thread.exec_ns += cost
             self.stats.exec_ns += cost
             payload = resume_payload_all(futures)
-            self.engine.schedule(cost, lambda: self._step(core, thread, payload))
+            self.engine.call_later(cost, self._step, core, thread, payload)
             return
         cost = self.params.block_ns
         thread.overhead_ns += cost
@@ -448,7 +457,7 @@ class StdRuntime:
 
         for fut in pending:
             fut.on_ready(one_ready)
-        self.engine.schedule(cost, lambda: self._free_core(core))
+        self.engine.call_later(cost, self._free_core, core)
 
     def _core_of(self, thread: OSThread) -> _KCore:
         for core in self.cores:
@@ -468,7 +477,7 @@ class StdRuntime:
         thread.pending_send = send_value
         thread.state = ThreadState.RUNNABLE
         self.run_queue.append(thread)
-        self.engine.schedule(cost, self._dispatch)
+        self.engine.call_later(cost, self._dispatch)
 
     # -- mutexes -----------------------------------------------------------------
 
@@ -477,7 +486,7 @@ class StdRuntime:
             cost = self.params.mutex_ns
             thread.exec_ns += cost
             self.stats.exec_ns += cost
-            self.engine.schedule(cost, lambda: self._step(core, thread, None))
+            self.engine.call_later(cost, self._step, core, thread, None)
             return
         cost = self.params.block_ns
         thread.overhead_ns += cost
@@ -485,7 +494,7 @@ class StdRuntime:
         self.stats.blocks += 1
         thread.state = ThreadState.BLOCKED
         mutex.enqueue_waiter(thread)
-        self.engine.schedule(cost, lambda: self._free_core(core))
+        self.engine.call_later(cost, self._free_core, core)
 
     def _do_unlock(self, core: _KCore, thread: OSThread, mutex: KMutex) -> None:
         nxt = mutex.release(thread)
@@ -494,7 +503,7 @@ class StdRuntime:
         self.stats.exec_ns += cost
         if nxt is not None:
             self._wake(nxt, None)
-        self.engine.schedule(cost, lambda: self._step(core, thread, None))
+        self.engine.call_later(cost, self._step, core, thread, None)
 
     def _do_yield(self, core: _KCore, thread: OSThread) -> None:
         cost = self.params.context_switch_ns
@@ -503,7 +512,7 @@ class StdRuntime:
         thread.state = ThreadState.RUNNABLE
         thread.pending_send = None
         self.run_queue.append(thread)
-        self.engine.schedule(cost, lambda: self._free_core(core))
+        self.engine.call_later(cost, self._free_core, core)
 
     # -- completion -----------------------------------------------------------------
 
@@ -533,4 +542,4 @@ class StdRuntime:
         # deferred child waking its waiter); only free it if this thread
         # still holds it.
         if core.current is thread:
-            self.engine.schedule(cost, lambda: self._free_core(core))
+            self.engine.call_later(cost, self._free_core, core)

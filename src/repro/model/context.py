@@ -14,6 +14,10 @@ from typing import Any, Callable, Sequence
 from repro.model.effects import Await, AwaitAll, Compute, Lock, Spawn, Unlock, YieldNow
 from repro.model.work import Work
 
+# Shared effects for the common ``ctx.compute(cpu_ns, membytes=...)`` call
+# shape (see TaskContext.compute).  Keyed by (cpu_ns, membytes).
+_COMPUTE_CACHE: dict = {}
+
 
 class TaskContext:
     """Bound to one task at execution time by the owning runtime.
@@ -67,9 +71,23 @@ class TaskContext:
         Accepts either a pre-built :class:`Work` or a raw ``cpu_ns``
         (plus optional ``membytes`` and further :class:`Work` kwargs).
         """
-        if not isinstance(work, Work):
-            work = Work(cpu_ns=int(work), membytes=membytes, **kwargs)
-        return Compute(work=work)
+        if work.__class__ is Work:
+            return Compute(work=work)
+        if not kwargs:
+            # Hot path: benchmarks call ``ctx.compute(cpu_ns, membytes=...)``
+            # with a handful of distinct values millions of times.  Work and
+            # Compute are immutable, so identical demands share one effect.
+            key = (work, membytes)
+            cached = _COMPUTE_CACHE.get(key)
+            if cached is not None:
+                return cached
+            effect = Compute(work=Work(cpu_ns=int(work), membytes=membytes))
+            if len(_COMPUTE_CACHE) < 1024:
+                _COMPUTE_CACHE[key] = effect
+            return effect
+        if isinstance(work, Work):  # Work subclass: honour it verbatim
+            return Compute(work=work)
+        return Compute(work=Work(cpu_ns=int(work), membytes=membytes, **kwargs))
 
     def lock(self, mutex: Any) -> Lock:
         """``mutex.lock()`` — may suspend the task."""

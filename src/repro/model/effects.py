@@ -4,11 +4,15 @@ A task body is a generator.  Each ``yield`` hands one of these effect
 objects to the runtime, which performs the operation in simulated time
 and resumes the generator with the result (a future handle, an awaited
 value, or ``None``).
+
+The effect classes are deliberately plain ``__slots__`` value objects
+rather than dataclasses: one is allocated per ``yield`` of every task,
+which makes their constructors part of the simulator's hot path.
+Treat instances as immutable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 
@@ -18,7 +22,6 @@ class Effect:
     __slots__ = ()
 
 
-@dataclass(frozen=True)
 class Spawn(Effect):
     """Launch ``fn(ctx, *args)`` as a new task; resumes with a future.
 
@@ -26,52 +29,94 @@ class Spawn(Effect):
     ``"fork"`` or ``"sync"`` (see Table II / Section V-B of the paper).
     """
 
-    fn: Callable[..., Any]
-    args: tuple = ()
-    policy: str = "async"
-    stack_bytes: int = 0
+    __slots__ = ("fn", "args", "policy", "stack_bytes")
+
+    def __init__(
+        self,
+        fn: Callable[..., Any],
+        args: tuple = (),
+        policy: str = "async",
+        stack_bytes: int = 0,
+    ) -> None:
+        self.fn = fn
+        self.args = args
+        self.policy = policy
+        self.stack_bytes = stack_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self.fn, "__name__", self.fn)
+        return f"Spawn(fn={name}, args={self.args!r}, policy={self.policy!r})"
 
 
-@dataclass(frozen=True)
 class Await(Effect):
     """Block until *future* is ready; resumes with its value.
 
     Equivalent of ``future.get()`` in the benchmarks.
     """
 
-    future: Any
+    __slots__ = ("future",)
+
+    def __init__(self, future: Any) -> None:
+        self.future = future
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Await(future={self.future!r})"
 
 
-@dataclass(frozen=True)
 class AwaitAll(Effect):
     """Block until every future in *futures* is ready; resumes with a
     list of their values (``hpx::when_all`` / joining a vector of
     ``std::future``)."""
 
-    futures: Sequence[Any]
+    __slots__ = ("futures",)
+
+    def __init__(self, futures: Sequence[Any]) -> None:
+        self.futures = futures
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AwaitAll(futures={self.futures!r})"
 
 
-@dataclass(frozen=True)
 class Compute(Effect):
     """Consume simulated machine resources described by *work*."""
 
-    work: Any  # repro.model.work.Work
+    __slots__ = ("work",)
+
+    def __init__(self, work: Any) -> None:  # repro.model.work.Work
+        self.work = work
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Compute(work={self.work!r})"
 
 
-@dataclass(frozen=True)
 class Lock(Effect):
     """Acquire *mutex*, suspending if it is held."""
 
-    mutex: Any
+    __slots__ = ("mutex",)
+
+    def __init__(self, mutex: Any) -> None:
+        self.mutex = mutex
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Lock(mutex={self.mutex!r})"
 
 
-@dataclass(frozen=True)
 class Unlock(Effect):
     """Release *mutex*, waking one waiter if any."""
 
-    mutex: Any
+    __slots__ = ("mutex",)
+
+    def __init__(self, mutex: Any) -> None:
+        self.mutex = mutex
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Unlock(mutex={self.mutex!r})"
 
 
-@dataclass(frozen=True)
 class YieldNow(Effect):
     """Cooperatively yield the core (``hpx::this_thread::yield``)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "YieldNow()"

@@ -23,6 +23,9 @@ class FutureError(RuntimeError):
     """Invalid future usage (double set, get before ready)."""
 
 
+_NOT_READY = FutureState.NOT_READY  # hot-path alias (one global load)
+
+
 class ThrowValue:
     """Resume marker: throw the wrapped exception into the waiting
     generator instead of sending a value (``future.get()`` re-raising)."""
@@ -36,7 +39,7 @@ class ThrowValue:
 def resume_payload(future: "SimFuture") -> Any:
     """What a waiter should be resumed with: the value, or a
     :class:`ThrowValue` carrying the stored exception."""
-    exc = future.exception()
+    exc = future._exception
     if exc is not None:
         return ThrowValue(exc)
     return future.value()
@@ -46,7 +49,7 @@ def resume_payload_all(futures: Any) -> Any:
     """Joint resume payload for a list of futures: the list of values,
     or a :class:`ThrowValue` of the first stored exception."""
     for fut in futures:
-        exc = fut.exception()
+        exc = fut._exception
         if exc is not None:
             return ThrowValue(exc)
     return [fut.value() for fut in futures]
@@ -58,7 +61,7 @@ class SimFuture:
     __slots__ = ("state", "_value", "_exception", "_callbacks", "producer_task")
 
     def __init__(self, producer_task: Any = None) -> None:
-        self.state = FutureState.NOT_READY
+        self.state = _NOT_READY
         self._value: Any = None
         self._exception: BaseException | None = None
         self._callbacks: list[Callable[["SimFuture"], None]] = []
@@ -68,7 +71,7 @@ class SimFuture:
 
     @property
     def is_ready(self) -> bool:
-        return self.state is not FutureState.NOT_READY
+        return self.state is not _NOT_READY
 
     def set_value(self, value: Any) -> None:
         """Fulfil the future; fires callbacks synchronously, in FIFO order."""

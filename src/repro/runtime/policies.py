@@ -28,8 +28,14 @@ class LaunchPolicy(enum.Enum):
 
     @classmethod
     def parse(cls, text: str) -> "LaunchPolicy":
+        policy = _BY_NAME.get(text)
+        if policy is not None:  # exact lowercase name: no enum machinery
+            return policy
         try:
             return cls(text.lower())
         except ValueError:
             valid = ", ".join(p.value for p in cls)
             raise ValueError(f"unknown launch policy {text!r}; expected one of {valid}")
+
+
+_BY_NAME = {p.value: p for p in LaunchPolicy}

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from repro.runtime.task import Task
 
 
-@dataclass
+@dataclass(slots=True)
 class QueueStats:
     """Counts backing the /threads/count/... queue counters."""
 
@@ -26,6 +26,8 @@ class QueueStats:
 
 class TaskQueue:
     """Work-stealing deque for one worker."""
+
+    __slots__ = ("owner_worker", "_dq", "stats")
 
     def __init__(self, owner_worker: int) -> None:
         self.owner_worker = owner_worker

@@ -24,7 +24,7 @@ from repro.model.effects import Await, AwaitAll, Compute, Lock, Spawn, Unlock, Y
 from repro.model.future import SimFuture, ThrowValue, resume_payload, resume_payload_all
 from repro.model.work import Work
 from repro.runtime.config import HpxParams
-from repro.runtime.policies import LaunchPolicy
+from repro.runtime.policies import LaunchPolicy, _BY_NAME as _POLICY_BY_NAME
 from repro.runtime.queues import TaskQueue
 from repro.runtime.sync import Mutex
 from repro.runtime.task import Task, TaskState
@@ -37,7 +37,13 @@ class DeadlockError(RuntimeError):
     """The event queue drained with unfinished tasks."""
 
 
-@dataclass
+# Hot-path aliases: `policy is _ASYNC` instead of enum-member loads.
+_ASYNC = LaunchPolicy.ASYNC
+_FORK = LaunchPolicy.FORK
+_SYNC = LaunchPolicy.SYNC
+
+
+@dataclass(slots=True)
 class WorkerStats:
     """Per-worker accounting (backs the worker-thread counter instances)."""
 
@@ -50,7 +56,7 @@ class WorkerStats:
     steals_cross_socket: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class ThreadManagerStats:
     """Global accounting (backs the ``total`` counter instances)."""
 
@@ -118,6 +124,32 @@ class HpxRuntime:
             raise ValueError(
                 f"unknown local_queue_discipline {self.params.local_queue_discipline!r}"
             )
+        # Params are frozen; cache the per-event costs as attributes so
+        # the hot paths do one attribute load instead of two.
+        p = self.params
+        self._notify_ns = p.notify_ns
+        self._dequeue_ns = p.dequeue_ns
+        self._context_switch_ns = p.context_switch_ns
+        self._task_create_ns = p.task_create_ns
+        self._enqueue_ns = p.enqueue_ns
+        self._suspend_ns = p.suspend_ns
+        self._future_get_ready_ns = p.future_get_ready_ns
+        self._mutex_ns = p.mutex_ns
+        self._cleanup_ns = p.cleanup_ns
+        self._lifo = p.local_queue_discipline == "lifo"
+        self._stack0_ns = p.stack_alloc_ns(0)  # default-stack allocation cost
+        # Effect dispatch table, keyed on the effect's exact class (the
+        # effects are final frozen dataclasses): replaces an isinstance
+        # chain on the hottest path of the interpreter.
+        self._handlers: dict[type, Callable[[_Worker, Task, Any], None]] = {
+            Compute: self._do_compute,
+            Spawn: self._do_spawn,
+            Await: self._do_await,
+            AwaitAll: self._do_await_all,
+            Lock: self._do_lock,
+            Unlock: self._do_unlock,
+            YieldNow: self._do_yield,
+        }
         self.topology = Topology(machine.spec)
         cores = self.topology.binding_smt(num_workers, smt, bind_mode)
         self.workers = [
@@ -168,7 +200,7 @@ class HpxRuntime:
             w.enabled = enable
             if enable and not was_enabled and w.state == "idle":
                 w.state = "waking"
-                self.engine.schedule(self.params.notify_ns, lambda ww=w: self._worker_scan(ww))
+                self.engine.call_later(self._notify_ns, self._worker_scan, w)
 
     @property
     def active_workers(self) -> int:
@@ -254,9 +286,12 @@ class HpxRuntime:
             created_at=self.engine.now,
         )
         self._next_tid += 1
-        self.stats.tasks_created += 1
-        self.stats.live_tasks += 1
-        self.stats.peak_live_tasks = max(self.stats.peak_live_tasks, self.stats.live_tasks)
+        stats = self.stats
+        stats.tasks_created += 1
+        live = stats.live_tasks + 1
+        stats.live_tasks = live
+        if live > stats.peak_live_tasks:
+            stats.peak_live_tasks = live
         self._live_tasks[task.tid] = task
         if self.trace:
             self.trace(self.engine.now, "create", task, None)
@@ -277,7 +312,7 @@ class HpxRuntime:
         if target is None:
             return
         target.state = "waking"
-        self.engine.schedule(self.params.notify_ns, lambda w=target: self._worker_scan(w))
+        self.engine.call_later(self._notify_ns, self._worker_scan, target)
 
     # ------------------------------------------------------------------
     # worker loop
@@ -336,7 +371,7 @@ class HpxRuntime:
                 self._kick_for_work(w)
             return
         task = w.queue.pop_head()
-        overhead = self.params.dequeue_ns
+        overhead = self._dequeue_ns
         if task is None:
             for vi in w.victims:
                 victim = self.workers[vi]
@@ -358,12 +393,14 @@ class HpxRuntime:
 
     def _activate(self, w: _Worker, task: Task, overhead_ns: int) -> None:
         """Context-switch into *task* and start driving its body."""
-        overhead = overhead_ns + self.params.context_switch_ns + self.instrument_ns
+        overhead = overhead_ns + self._context_switch_ns + self.instrument_ns
         if task.phases == 0:
-            overhead += self.params.stack_alloc_ns(task.stack_bytes)
+            sb = task.stack_bytes
+            overhead += self._stack0_ns if sb == 0 else self.params.stack_alloc_ns(sb)
         if task.home_socket != w.socket:
             overhead += self.params.cross_socket_activation_ns
-        overhead += self._qpi_delay(w)
+        if self._spans_sockets:
+            overhead += self._qpi_delay(w)
         if task.staged_at is not None:
             self.stats.pending_wait_ns += self.engine.now - task.staged_at
             self.stats.pending_waits += 1
@@ -379,7 +416,7 @@ class HpxRuntime:
             self.trace(self.engine.now, "activate", task, w.index)
         send = task.pending_send
         task.pending_send = None
-        self.engine.schedule(overhead, lambda: self._step(w, task, send))
+        self.engine.call_later(overhead, self._step, w, task, send)
 
     def _after_task(self, w: _Worker) -> None:
         """The worker just finished/suspended a task; look for the next."""
@@ -392,9 +429,11 @@ class HpxRuntime:
     # ------------------------------------------------------------------
 
     def _step(self, w: _Worker, task: Task, send_value: Any) -> None:
-        gen = task.bind(TaskContext(self, task))
+        gen = task.gen
+        if gen is None:  # first activation: bind the body to its context
+            gen = task.bind(TaskContext(self, task))
         try:
-            if isinstance(send_value, ThrowValue):
+            if send_value.__class__ is ThrowValue:
                 effect = gen.throw(send_value.exc)
             else:
                 effect = gen.send(send_value)
@@ -404,29 +443,23 @@ class HpxRuntime:
         except Exception as exc:  # body raised: propagate through the future
             self._fail(w, task, exc)
             return
-        self._dispatch(w, task, effect)
+        handler = self._handlers.get(effect.__class__)
+        if handler is None:
+            self._fail(w, task, TypeError(f"task yielded non-effect {effect!r}"))
+            return
+        handler(w, task, effect)
 
     def _dispatch(self, w: _Worker, task: Task, effect: Any) -> None:
-        if isinstance(effect, Compute):
-            self._do_compute(w, task, effect.work)
-        elif isinstance(effect, Spawn):
-            self._do_spawn(w, task, effect)
-        elif isinstance(effect, Await):
-            self._do_await(w, task, effect.future)
-        elif isinstance(effect, AwaitAll):
-            self._do_await_all(w, task, effect.futures)
-        elif isinstance(effect, Lock):
-            self._do_lock(w, task, effect.mutex)
-        elif isinstance(effect, Unlock):
-            self._do_unlock(w, task, effect.mutex)
-        elif isinstance(effect, YieldNow):
-            self._do_yield(w, task)
-        else:
+        handler = self._handlers.get(effect.__class__)
+        if handler is None:
             self._fail(w, task, TypeError(f"task yielded non-effect {effect!r}"))
+            return
+        handler(w, task, effect)
 
     # -- compute -----------------------------------------------------------
 
-    def _do_compute(self, w: _Worker, task: Task, work: Work) -> None:
+    def _do_compute(self, w: _Worker, task: Task, effect: Compute) -> None:
+        work = effect.work
         if self.locality_traffic_factor != 1.0:
             work = work.scaled(self.locality_traffic_factor)
         cross = (
@@ -444,19 +477,22 @@ class HpxRuntime:
         task.exec_ns += duration
         w.stats.exec_ns += duration
         w.stats.busy_ns += duration
+        self.engine.call_later(duration, self._finish_compute, w, task, ticket, work)
 
-        def finish() -> None:
-            self._core_compute_count[w.core_index] -= 1
-            self.machine.segment_end(ticket, work)
-            self._step(w, task, None)
-
-        self.engine.schedule(duration, finish)
+    def _finish_compute(self, w: _Worker, task: Task, ticket: Any, work: Work) -> None:
+        self._core_compute_count[w.core_index] -= 1
+        self.machine.segment_end(ticket, work)
+        self._step(w, task, None)
 
     # -- spawn -------------------------------------------------------------
 
     def _do_spawn(self, w: _Worker, task: Task, effect: Spawn) -> None:
-        policy = LaunchPolicy.parse(effect.policy)
-        cost = self.params.task_create_ns + self._qpi_delay(w)
+        policy = _POLICY_BY_NAME.get(effect.policy)
+        if policy is None:
+            policy = LaunchPolicy.parse(effect.policy)
+        cost = self._task_create_ns
+        if self._spans_sockets:
+            cost += self._qpi_delay(w)
         child = self._make_task(
             effect.fn,
             effect.args,
@@ -465,10 +501,10 @@ class HpxRuntime:
             home_socket=w.socket,
             stack_bytes=effect.stack_bytes,
         )
-        if policy in (LaunchPolicy.ASYNC, LaunchPolicy.FORK):
-            cost += self.params.enqueue_ns
+        if policy is _ASYNC or policy is _FORK:
+            cost += self._enqueue_ns
             child.staged_at = self.engine.now
-            if policy is LaunchPolicy.FORK or self.params.local_queue_discipline == "lifo":
+            if policy is _FORK or self._lifo:
                 # Child at the hot end: the owner executes depth-first
                 # (fork additionally implies it runs next on this core).
                 w.queue.push_head(child)
@@ -476,7 +512,7 @@ class HpxRuntime:
                 # FIFO ablation: breadth-first execution order.
                 w.queue.push_tail(child)
             self._kick_for_work(w)
-        elif policy is LaunchPolicy.SYNC:
+        elif policy is _SYNC:
             # Execute inline: chain the child now, resume parent on return.
             task.exec_ns += cost
             w.stats.exec_ns += cost
@@ -487,7 +523,7 @@ class HpxRuntime:
         task.exec_ns += cost
         w.stats.exec_ns += cost
         w.stats.busy_ns += cost
-        self.engine.schedule(cost, lambda: self._step(w, task, child.future))
+        self.engine.call_later(cost, self._step, w, task, child.future)
 
     def _run_inline(self, w: _Worker, parent: Task, child: Task) -> None:
         """Run *child* immediately on this worker; resume parent on return.
@@ -501,15 +537,17 @@ class HpxRuntime:
 
     # -- waiting -------------------------------------------------------------
 
-    def _do_await(self, w: _Worker, task: Task, future: SimFuture) -> None:
+    def _do_await(self, w: _Worker, task: Task, effect: Await) -> None:
+        future = effect.future
         if future.is_ready:
-            cost = self.params.future_get_ready_ns
+            cost = self._future_get_ready_ns
             task.exec_ns += cost
             w.stats.exec_ns += cost
             w.stats.busy_ns += cost
-            self._trace_dependency(task, (future,))
+            if self.trace is not None:
+                self._trace_dependency(task, (future,))
             payload = resume_payload(future)
-            self.engine.schedule(cost, lambda: self._step(w, task, payload))
+            self.engine.call_later(cost, self._step, w, task, payload)
             return
         producer = future.producer_task
         if (
@@ -522,7 +560,7 @@ class HpxRuntime:
             future.on_ready(lambda fut: self._resume_task(task, fut))
             self._activate(w, producer, 0)
             return
-        cost = self.params.suspend_ns
+        cost = self._suspend_ns
         task.overhead_ns += cost
         w.stats.overhead_ns += cost
         w.stats.busy_ns += cost
@@ -530,9 +568,10 @@ class HpxRuntime:
         if self.trace:
             self.trace(self.engine.now, "suspend", task, w.index)
         future.on_ready(lambda fut: self._resume_task(task, fut))
-        self.engine.schedule(cost, lambda: self._after_task(w))
+        self.engine.call_later(cost, self._after_task, w)
 
-    def _do_await_all(self, w: _Worker, task: Task, futures: tuple) -> None:
+    def _do_await_all(self, w: _Worker, task: Task, effect: AwaitAll) -> None:
+        futures = effect.futures
         pending = [f for f in futures if not f.is_ready]
         # Run deferred producers inline, one by one, by rewriting the wait
         # as a chain: wait on the first deferred child, then re-wait.
@@ -545,15 +584,16 @@ class HpxRuntime:
                 self._activate(w, producer, 0)
                 return
         if not pending:
-            cost = self.params.future_get_ready_ns
+            cost = self._future_get_ready_ns
             task.exec_ns += cost
             w.stats.exec_ns += cost
             w.stats.busy_ns += cost
-            self._trace_dependency(task, futures)
+            if self.trace is not None:
+                self._trace_dependency(task, futures)
             payload = resume_payload_all(futures)
-            self.engine.schedule(cost, lambda: self._step(w, task, payload))
+            self.engine.call_later(cost, self._step, w, task, payload)
             return
-        cost = self.params.suspend_ns
+        cost = self._suspend_ns
         task.overhead_ns += cost
         w.stats.overhead_ns += cost
         w.stats.busy_ns += cost
@@ -567,7 +607,7 @@ class HpxRuntime:
 
         for fut in pending:
             fut.on_ready(one_ready)
-        self.engine.schedule(cost, lambda: self._after_task(w))
+        self.engine.call_later(cost, self._after_task, w)
 
     def _reawait_all(self, task: Task, futures: tuple) -> None:
         """Re-issue an AwaitAll after an inline deferred child completed."""
@@ -577,39 +617,40 @@ class HpxRuntime:
             self.stats.suspended_tasks -= 1
         task.state = TaskState.ACTIVE
         # Dispatch directly: the task is still positioned at its AwaitAll.
-        self._do_await_all(worker, task, futures)
+        self._do_await_all(worker, task, AwaitAll(futures=futures))
 
     # -- mutexes ---------------------------------------------------------------
 
-    def _do_lock(self, w: _Worker, task: Task, mutex: Mutex) -> None:
+    def _do_lock(self, w: _Worker, task: Task, effect: Lock) -> None:
+        mutex = effect.mutex
         if mutex.try_acquire(task):
-            cost = self.params.mutex_ns
+            cost = self._mutex_ns
             task.exec_ns += cost
             w.stats.exec_ns += cost
             w.stats.busy_ns += cost
-            self.engine.schedule(cost, lambda: self._step(w, task, None))
+            self.engine.call_later(cost, self._step, w, task, None)
             return
-        cost = self.params.suspend_ns
+        cost = self._suspend_ns
         task.overhead_ns += cost
         w.stats.overhead_ns += cost
         w.stats.busy_ns += cost
         self._suspend(task)
         mutex.enqueue_waiter(task)
-        self.engine.schedule(cost, lambda: self._after_task(w))
+        self.engine.call_later(cost, self._after_task, w)
 
-    def _do_unlock(self, w: _Worker, task: Task, mutex: Mutex) -> None:
-        next_owner = mutex.release(task)
-        cost = self.params.mutex_ns
+    def _do_unlock(self, w: _Worker, task: Task, effect: Unlock) -> None:
+        next_owner = effect.mutex.release(task)
+        cost = self._mutex_ns
         task.exec_ns += cost
         w.stats.exec_ns += cost
         w.stats.busy_ns += cost
         if next_owner is not None:
             # The waiter now owns the mutex; make it runnable here.
             self._push_resumed(w, next_owner, None)
-        self.engine.schedule(cost, lambda: self._step(w, task, None))
+        self.engine.call_later(cost, self._step, w, task, None)
 
-    def _do_yield(self, w: _Worker, task: Task) -> None:
-        cost = self.params.context_switch_ns
+    def _do_yield(self, w: _Worker, task: Task, effect: YieldNow) -> None:
+        cost = self._context_switch_ns
         task.overhead_ns += cost
         w.stats.overhead_ns += cost
         w.stats.busy_ns += cost
@@ -617,12 +658,12 @@ class HpxRuntime:
         task.pending_send = None
         task.staged_at = self.engine.now
         w.queue.push_tail(task)
-        self.engine.schedule(cost, lambda: self._after_task(w))
+        self.engine.call_later(cost, self._after_task, w)
 
     # -- completion and resumption ------------------------------------------------
 
     def _complete(self, w: _Worker, task: Task, value: Any) -> None:
-        cost = self.params.cleanup_ns
+        cost = self._cleanup_ns
         task.overhead_ns += cost
         w.stats.overhead_ns += cost
         w.stats.busy_ns += cost
@@ -641,7 +682,7 @@ class HpxRuntime:
             task.future.set_value(value)
         finally:
             self._fulfil_worker = prev
-        self.engine.schedule(cost, lambda: self._after_task(w))
+        self.engine.call_later(cost, self._after_task, w)
 
     def _fail(self, w: _Worker, task: Task, exc: BaseException) -> None:
         task.state = TaskState.TERMINATED
@@ -657,17 +698,20 @@ class HpxRuntime:
             task.future.set_exception(exc)
         finally:
             self._fulfil_worker = prev
-        self.engine.schedule(self.params.cleanup_ns, lambda: self._after_task(w))
+        self.engine.call_later(self._cleanup_ns, self._after_task, w)
 
     def _resume_task(self, task: Task, send_value: Any) -> None:
         """A suspended task became runnable (future set / mutex granted)."""
-        if isinstance(send_value, _SendRaw):
+        cls = send_value.__class__
+        if cls is _SendRaw:
             send_value = send_value.value
-        elif isinstance(send_value, SimFuture):
-            self._trace_dependency(task, (send_value,))
+        elif cls is SimFuture or isinstance(send_value, SimFuture):
+            if self.trace is not None:
+                self._trace_dependency(task, (send_value,))
             send_value = resume_payload(send_value)
-        elif isinstance(send_value, _AwaitAllDone):
-            self._trace_dependency(task, send_value.futures)
+        elif cls is _AwaitAllDone:
+            if self.trace is not None:
+                self._trace_dependency(task, send_value.futures)
             send_value = resume_payload_all(send_value.futures)
         task.pending_send = send_value
         worker = self._fulfil_worker or self.workers[0]

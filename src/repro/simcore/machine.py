@@ -67,16 +67,28 @@ class Core:
     busy_ns: int = 0  # cumulative time spent executing segments
 
 
-@dataclass(frozen=True)
 class SegmentTicket:
     """Handle returned by :meth:`Machine.segment_begin`; pass back to
-    :meth:`Machine.segment_end` when the segment's end event fires."""
+    :meth:`Machine.segment_end` when the segment's end event fires.
 
-    core_index: int
-    socket: int
-    duration_ns: int
-    membytes_effective: int
-    uses_memory: bool
+    Plain ``__slots__`` object (one per compute segment — hot path);
+    treat instances as immutable."""
+
+    __slots__ = ("core_index", "socket", "duration_ns", "membytes_effective", "uses_memory")
+
+    def __init__(
+        self,
+        core_index: int,
+        socket: int,
+        duration_ns: int,
+        membytes_effective: int,
+        uses_memory: bool,
+    ) -> None:
+        self.core_index = core_index
+        self.socket = socket
+        self.duration_ns = duration_ns
+        self.membytes_effective = membytes_effective
+        self.uses_memory = uses_memory
 
 
 class Machine:
@@ -100,6 +112,12 @@ class Machine:
         # Sum of the working sets of segments currently active per socket,
         # for the shared-L3 pressure model.
         self._active_ws = [0] * self.spec.sockets
+        # Spec is frozen: cache the constants segment_begin reads per call.
+        self._l3_bytes = self.spec.l3_bytes_per_socket
+        self._l3_alpha = self.spec.l3_pressure_alpha
+        self._l3_max = self.spec.l3_max_factor
+        self._freq_ghz = self.spec.freq_ghz
+        self._ipc = self.spec.ipc
 
     # -- queries ---------------------------------------------------------
 
@@ -136,8 +154,15 @@ class Machine:
         core = self.cores[core_index]
         socket = core.socket
         controller = self.controllers[socket]
+        working_set = work.membytes if work.working_set is None else work.working_set
 
-        pressure = self.l3_pressure_factor(socket, work.effective_working_set)
+        # Inline l3_pressure_factor (hot path: one call per segment).
+        ws = self._active_ws[socket] + working_set
+        overflow = ws / self._l3_bytes - 1.0
+        if overflow <= 0:
+            pressure = 1.0
+        else:
+            pressure = min(self._l3_max, 1.0 + self._l3_alpha * overflow)
         membytes = round(work.membytes * pressure)
         mem_ns = controller.service_time_ns(membytes, cross_socket_fraction=cross_socket_fraction)
         cpu_ns = round(work.cpu_ns * speed_factor)
@@ -146,19 +171,20 @@ class Machine:
         uses_memory = membytes > 0
         if uses_memory:
             controller.stream_started(membytes, cross_socket_fraction=cross_socket_fraction)
-        self._active_ws[socket] += work.effective_working_set
+        self._active_ws[socket] += working_set
 
         # Hardware counter increments are booked at segment start; the
         # simulated PAPI layer only ever observes them after the segment
         # completes, so eager booking is unobservable and cheaper.
-        lines_work = work.scaled_traffic(pressure)
-        data_rd, code_rd, rfo = lines_work.offcore_requests()
-        core.hw.offcore_all_data_rd += data_rd
-        core.hw.offcore_demand_code_rd += code_rd
-        core.hw.offcore_demand_rfo += rfo
-        cycles = round(duration * self.spec.freq_ghz)
-        core.hw.cycles += cycles
-        core.hw.instructions += round(work.cpu_ns * self.spec.freq_ghz * self.spec.ipc)
+        hw = core.hw
+        if membytes:
+            lines_work = work.scaled_traffic(pressure)
+            data_rd, code_rd, rfo = lines_work.offcore_requests()
+            hw.offcore_all_data_rd += data_rd
+            hw.offcore_demand_code_rd += code_rd
+            hw.offcore_demand_rfo += rfo
+        hw.cycles += round(duration * self._freq_ghz)
+        hw.instructions += round(work.cpu_ns * self._freq_ghz * self._ipc)
         core.busy_ns += duration
 
         return SegmentTicket(

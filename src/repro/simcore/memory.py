@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryTrafficStats:
     """Cumulative memory traffic bookkeeping for one socket."""
 
@@ -42,6 +42,15 @@ class MemoryController:
         Multiplier (> 1) applied to the service time of traffic that
         crosses the QPI link to the remote socket's memory.
     """
+
+    __slots__ = (
+        "socket_id",
+        "peak_bw",
+        "per_core_bw",
+        "cross_socket_factor",
+        "active_streams",
+        "stats",
+    )
 
     def __init__(
         self,
@@ -70,6 +79,14 @@ class MemoryController:
         """Nanoseconds needed to move *nbytes* under current contention."""
         if nbytes <= 0:
             return 0
+        if cross_socket_fraction == 0.0:
+            # Hot path: socket-local traffic (the common case).  Matches
+            # the general expression exactly: local == float(nbytes),
+            # remote == 0.0, and bw is the same min().
+            bw = self.peak_bw / (self.active_streams + 1)
+            if bw > self.per_core_bw:
+                bw = self.per_core_bw
+            return round(nbytes / bw * 1e9)
         if not 0.0 <= cross_socket_fraction <= 1.0:
             raise ValueError("cross_socket_fraction must be in [0, 1]")
         bw = self.effective_bandwidth(self.active_streams + 1)
@@ -80,9 +97,11 @@ class MemoryController:
     def stream_started(self, nbytes: int, *, cross_socket_fraction: float = 0.0) -> None:
         """Register a memory-consuming segment beginning on this socket."""
         self.active_streams += 1
-        self.stats.bytes_total += nbytes
-        self.stats.bytes_cross_socket += round(nbytes * cross_socket_fraction)
-        self.stats.segments += 1
+        stats = self.stats
+        stats.bytes_total += nbytes
+        if cross_socket_fraction:
+            stats.bytes_cross_socket += round(nbytes * cross_socket_fraction)
+        stats.segments += 1
 
     def stream_finished(self) -> None:
         """Register a memory-consuming segment ending."""

@@ -133,6 +133,107 @@ def test_periodic_query_validation(registry, hpx4, engine):
         PeriodicQuery(ac, engine=engine, runtime=None, interval_ns=10, in_band=True)
 
 
+def test_periodic_query_stop_is_idempotent(registry, hpx4, engine):
+    """Regression: double stop (explicit stop racing the self-stop at
+    quiescence) must not unregister counter instrumentation twice."""
+    query = PeriodicQuery(
+        ActiveCounters(registry, ["/threads/time/average"]),
+        engine=engine,
+        runtime=hpx4,
+        interval_ns=us(10),
+        in_band=False,
+    )
+    query.stop()  # stop before start: no-op
+    assert hpx4.instrument_ns == 0
+    query.start()
+    assert hpx4.instrument_ns > 0
+    query.stop()
+    query.stop()
+    assert hpx4.instrument_ns == 0
+
+
+def test_periodic_query_stop_cancels_armed_tick(registry, hpx4, engine):
+    """Regression: stop() must cancel the armed tick so the event queue
+    drains instead of firing a stray sample."""
+    query = PeriodicQuery(
+        ActiveCounters(registry, ["/runtime/uptime"]),
+        engine=engine,
+        runtime=hpx4,
+        interval_ns=us(10),
+        in_band=False,
+    )
+    query.start()
+    assert engine.pending_events == 1  # the armed tick
+    query.stop()
+    assert engine.pending_events == 0
+    engine.run()
+    assert query.samples == []
+
+
+def test_periodic_query_stale_tick_dropped_after_stop(registry, hpx4, engine):
+    """Regression for the stop race: a tick armed before stop() that
+    still fires (e.g. it was already dispatched) must not record a
+    sample or re-arm the chain."""
+    query = PeriodicQuery(
+        ActiveCounters(registry, ["/runtime/uptime"]),
+        engine=engine,
+        runtime=hpx4,
+        interval_ns=us(10),
+        in_band=False,
+    )
+    query.start()
+    stale_epoch = query._epoch
+    query.stop()
+    query._tick(stale_epoch)  # the raced tick arriving late
+    assert query.samples == []
+    assert engine.pending_events == 0  # no re-armed chain
+
+
+def test_periodic_query_stop_start_cycle_drops_old_epoch(registry, hpx4, engine):
+    """A stop/start cycle bumps the sampling epoch: a tick from the old
+    epoch is discarded even though the query is running again."""
+    query = PeriodicQuery(
+        ActiveCounters(registry, ["/runtime/uptime"]),
+        engine=engine,
+        runtime=hpx4,
+        interval_ns=us(10),
+        in_band=False,
+    )
+    query.start()
+    old_epoch = query._epoch
+    query.stop()
+    query.start()
+    assert query._epoch == old_epoch + 1
+    query._tick(old_epoch)  # stale tick from the first chain
+    assert query.samples == []  # dropped, not recorded
+    assert query._running  # the new chain is unaffected
+    query.stop()
+
+
+def test_periodic_query_stop_while_in_band_query_in_flight(registry, hpx4, engine):
+    """Regression for the ISSUE stop race: stop() lands between an
+    in-band query task's submission and its completion.  The stale task
+    must drop its sample and not re-arm, and the engine must drain."""
+    query = PeriodicQuery(
+        ActiveCounters(registry, ["/threads/count/cumulative"]),
+        engine=engine,
+        runtime=hpx4,
+        interval_ns=us(10),
+        in_band=True,
+    )
+    # Keep the app alive past the first tick so the tick submits a task.
+    hpx4.submit(fib_body, 6)
+    query.start()
+    engine.run(until=us(10))  # the tick fires and submits the query task
+    assert query.samples == []  # task not yet complete
+    query.stop()  # races the in-flight query task
+    engine.run()  # drain: the task completes against a stale epoch
+    assert query.samples == []
+    assert not query._running
+    assert engine.pending_events == 0
+    assert hpx4.instrument_ns == 0
+
+
 def test_periodic_query_sink(registry, hpx4, engine):
     seen = []
     query = PeriodicQuery(

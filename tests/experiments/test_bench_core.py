@@ -1,0 +1,90 @@
+"""Event-core benchmark: determinism contract and regression gate."""
+
+from __future__ import annotations
+
+from repro.experiments.bench_core import (
+    SCHEMA,
+    _record_stream,
+    _replay_stream,
+    _run_once,
+    _same_results,
+    compare_to_baseline,
+    is_bench_core_payload,
+)
+from repro.simcore.events import Engine
+from repro.simcore.events_legacy import LegacyEngine
+
+
+def test_fib20_identical_artifacts_on_both_engines():
+    """The acceptance determinism check at CI size: fib(20) must produce
+    bit-identical simulated results (timestamps, counter values, task
+    counts) on the fast-path engine and the legacy heap engine."""
+    params = {"n": 20}
+    _, new = _run_once("fib", "hpx", 8, params, Engine)
+    _, legacy = _run_once("fib", "hpx", 8, params, LegacyEngine)
+    assert new.verified and legacy.verified
+    assert new.exec_time_ns == legacy.exec_time_ns
+    assert new.engine_events == legacy.engine_events
+    assert new.counters == legacy.counters
+    assert new.tasks_executed == legacy.tasks_executed
+    assert _same_results(new, legacy)
+
+
+def test_recorded_stream_replays_identically_on_both_engines():
+    """The bench's replay harness reproduces the recorded run's final
+    clock and event count on both engines (the property the events/sec
+    comparison rests on)."""
+    groups, delays, recorded = _record_stream("fib", "hpx", 4, {"n": 12})
+    assert recorded.verified
+    for factory in (Engine, LegacyEngine):
+        _, now, events = _replay_stream(groups, delays, factory)
+        assert (now, events) == (recorded.exec_time_ns, recorded.engine_events)
+
+
+def _payload(core_speedups: dict[str, float], run_speedups: dict[str, float]) -> dict:
+    return {
+        "schema": SCHEMA,
+        "mode": "quick",
+        "core": [
+            {"pattern": name, "speedup": value} for name, value in core_speedups.items()
+        ],
+        "runs": [
+            {"name": name, "core_speedup": value} for name, value in run_speedups.items()
+        ],
+    }
+
+
+def test_gate_passes_within_threshold():
+    baseline = _payload({"chain": 2.0}, {"fib": 2.1})
+    current = _payload({"chain": 1.7}, {"fib": 2.0})  # −15%, −5%
+    assert compare_to_baseline(current, baseline, threshold=0.20) == []
+
+
+def test_gate_catches_core_regression():
+    baseline = _payload({"chain": 2.0, "fanout": 5.0}, {"fib": 2.1})
+    current = _payload({"chain": 2.0, "fanout": 3.0}, {"fib": 2.1})  # fanout −40%
+    failures = compare_to_baseline(current, baseline, threshold=0.20)
+    assert [f.metric for f in failures] == ["core/fanout"]
+    assert failures[0].baseline == 5.0
+    assert failures[0].current == 3.0
+    assert "fanout" in str(failures[0])
+
+
+def test_gate_catches_reference_run_regression():
+    baseline = _payload({}, {"fib": 2.1, "uts": 2.1})
+    current = _payload({}, {"fib": 1.2, "uts": 2.0})
+    failures = compare_to_baseline(current, baseline, threshold=0.20)
+    assert [f.metric for f in failures] == ["runs/fib"]
+
+
+def test_gate_ignores_metrics_missing_from_baseline():
+    baseline = _payload({"chain": 2.0}, {})
+    current = _payload({"chain": 2.0, "fanout": 1.0}, {"fib": 0.5})
+    assert compare_to_baseline(current, baseline, threshold=0.20) == []
+
+
+def test_is_bench_core_payload():
+    assert is_bench_core_payload({"schema": SCHEMA})
+    assert not is_bench_core_payload({"schema": "repro-campaign/1"})
+    assert not is_bench_core_payload(["schema"])
+    assert not is_bench_core_payload(None)
