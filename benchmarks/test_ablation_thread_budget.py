@@ -13,8 +13,8 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+from repro.api import Session
 from repro.experiments.config import ExperimentConfig, default_std_params
-from repro.experiments.runner import run_benchmark
 
 from conftest import run_once
 
@@ -26,9 +26,10 @@ def _failures(thread_budget: int) -> set[str]:
     config = ExperimentConfig(
         std=replace(base, ram_budget_bytes=thread_budget * base.thread_commit_bytes)
     )
+    session = Session(runtime="std", cores=20, config=config)
     failed = set()
     for name in PROBES:
-        result = run_benchmark(name, runtime="std", cores=20, config=config)
+        result = session.run(name)
         if result.aborted:
             failed.add(name)
     return failed

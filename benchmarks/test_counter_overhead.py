@@ -8,15 +8,16 @@ counters are queried this overhead can go up to 16%."
 
 from __future__ import annotations
 
+from repro.api import Session
 from repro.experiments.config import PAPI_COUNTERS, SOFTWARE_COUNTERS
-from repro.experiments.runner import run_benchmark
 
 from conftest import run_once
 
 
 def _overhead(name: str, cores: int, specs) -> float:
-    plain = run_benchmark(name, runtime="hpx", cores=cores, collect_counters=False)
-    counted = run_benchmark(name, runtime="hpx", cores=cores, counter_specs=specs)
+    session = Session(runtime="hpx", cores=cores)
+    plain = session.run(name, collect_counters=False)
+    counted = session.run(name, counters=specs)
     return (counted.exec_time_ns - plain.exec_time_ns) / plain.exec_time_ns * 100
 
 

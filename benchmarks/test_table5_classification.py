@@ -12,9 +12,9 @@ Checks, for all fourteen benchmarks:
 
 from __future__ import annotations
 
+from repro.api import Session
 from repro.experiments.tables import table5
 from repro.experiments.report import render_table5
-from repro.experiments.runner import run_benchmark
 
 from conftest import run_once
 
@@ -52,9 +52,10 @@ def test_very_fine_task_overhead_band(benchmark):
     """Section VI: 0.5-1 us task overheads for the very fine benchmarks."""
 
     def measure():
+        session = Session(runtime="hpx", cores=1)
         overheads = {}
         for name in ("fib", "health", "uts", "intersim", "qap"):
-            result = run_benchmark(name, runtime="hpx", cores=1)
+            result = session.run(name)
             overheads[name] = result.counter(_OVERHEAD)
         return overheads
 

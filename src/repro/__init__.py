@@ -29,20 +29,16 @@ Quickstart::
     session = Session(runtime="hpx", cores=4)
     result = session.run("fib")
     print(result.exec_time_us)
-
-(The older ``run_benchmark`` function remains importable but is
-deprecated in favour of :class:`repro.api.Session`.)
 """
 
 from repro._version import __version__
 from repro.api import Session
-from repro.experiments.runner import RunResult, run_benchmark
+from repro.experiments.runner import RunResult
 from repro.inncabs.suite import available_benchmarks, get_benchmark
 
 __all__ = [
     "__version__",
     "Session",
-    "run_benchmark",
     "RunResult",
     "available_benchmarks",
     "get_benchmark",

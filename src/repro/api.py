@@ -15,8 +15,9 @@ default core count, runtime parameters, event-engine factory); each
 machine, so runs never share simulated state and remain bit-for-bit
 deterministic.
 
-The older ``repro.experiments.runner.run_benchmark`` entry point remains
-importable but is deprecated; it now delegates here.
+Both runtimes implement :class:`repro.exec.backend.SchedulerBackend`,
+so the run path is the same for either: build the backend, attach the
+counter stack to its probe bus, run the engine, read the results.
 """
 
 from __future__ import annotations
@@ -27,6 +28,7 @@ from typing import Any, Callable, Mapping, Sequence
 from repro.counters.base import CounterEnvironment
 from repro.counters.manager import ActiveCounters
 from repro.counters.registry import build_default_registry
+from repro.exec.errors import DeadlockError
 from repro.experiments.config import DEFAULT_COUNTERS, ExperimentConfig
 from repro.experiments.runner import RunResult
 from repro.inncabs.base import effective_locality_factor
@@ -121,14 +123,13 @@ class Session:
     ) -> RunResult:
         """Run one benchmark to completion; returns a :class:`RunResult`.
 
-        ``counters`` is a sequence of HPX counter-name specs to collect
-        (defaults to the paper's software + PAPI set).  Counters are an
-        HPX capability, so for the ``std`` runtime only wall time and
-        process statistics are reported.  ``collect_counters=False``
-        disables instrumentation entirely (the Section V-C overhead
-        experiment measures exactly this difference);
-        ``query_interval_ns`` additionally samples the active counters
-        on a fixed in-band interval during the run.
+        ``counters`` is a sequence of counter-name specs to collect
+        (defaults to the paper's software + PAPI set).  Counters read
+        the backend's probe bus, so they work on both runtimes.
+        ``collect_counters=False`` disables instrumentation entirely
+        (the Section V-C overhead experiment measures exactly this
+        difference); ``query_interval_ns`` additionally samples the
+        active counters on a fixed in-band interval during the run.
         """
         config = self.config
         ncores = self.cores if cores is None else cores
@@ -140,8 +141,9 @@ class Session:
         machine = Machine(config.machine)
         out = RunResult(benchmark=benchmark, runtime=self.runtime, cores=ncores)
 
+        rt: Any
         if self.runtime == "hpx":
-            rt: Any = HpxRuntime(
+            rt = HpxRuntime(
                 engine,
                 machine,
                 num_workers=ncores,
@@ -150,61 +152,54 @@ class Session:
                     bench.info.hpx_locality_factor, ncores
                 ),
             )
-            active: ActiveCounters | None = None
-            query = None
-            if collect_counters:
-                env = CounterEnvironment(
-                    engine=engine, runtime=rt, machine=machine, papi=PapiSubstrate(machine)
-                )
-                registry = build_default_registry(env)
-                active = ActiveCounters(registry, counters or DEFAULT_COUNTERS)
-                active.start()
-                active.reset_active_counters()
-                if query_interval_ns is not None:
-                    from repro.counters.query import PeriodicQuery
-
-                    query = PeriodicQuery(
-                        active,
-                        engine=engine,
-                        runtime=rt,
-                        interval_ns=query_interval_ns,
-                        sink=query_sink,
-                        in_band=True,
-                    )
-                    query.start()
-            elif query_interval_ns is not None:
-                raise ValueError("periodic queries need collect_counters=True")
-            future = rt.submit(root_fn, *root_args)
-            engine.run()
-            if not future.is_ready:
-                raise RuntimeError(rt.describe_stall())
-            result = future.value()
-            out.exec_time_ns = engine.now
-            out.tasks_executed = rt.stats.tasks_executed
-            out.tasks_created = rt.stats.tasks_created
-            out.peak_live_tasks = rt.stats.peak_live_tasks
-            if active is not None:
-                values = active.evaluate_active_counters(reset=True)
-                out.counters = {v.name: v.value for v in values}
-            if query is not None:
-                out.query_samples = query.samples
-        else:  # std
+        else:
             rt = StdRuntime(engine, machine, num_workers=ncores, params=config.std)
-            future = rt.submit(root_fn, *root_args)
-            engine.run()
-            out.tasks_created = rt.stats.threads_created
-            out.tasks_executed = rt.stats.threads_completed
-            out.peak_live_tasks = rt.stats.peak_live_threads
-            if rt.aborted:
-                out.aborted = True
-                out.abort_reason = rt.abort_reason
-                out.exec_time_ns = engine.now
-                out.engine_events = engine.events_processed
-                return out
-            if not future.is_ready:
-                raise RuntimeError("std run finished without a result")
-            result = future.value()
+
+        active: ActiveCounters | None = None
+        query = None
+        if collect_counters:
+            env = CounterEnvironment(
+                engine=engine, runtime=rt, machine=machine, papi=PapiSubstrate(machine)
+            )
+            registry = build_default_registry(env)
+            active = ActiveCounters(registry, counters or DEFAULT_COUNTERS)
+            active.start()
+            active.reset_active_counters()
+            if query_interval_ns is not None:
+                from repro.counters.query import PeriodicQuery
+
+                query = PeriodicQuery(
+                    active,
+                    engine=engine,
+                    runtime=rt,
+                    interval_ns=query_interval_ns,
+                    sink=query_sink,
+                    in_band=True,
+                )
+                query.start()
+        elif query_interval_ns is not None:
+            raise ValueError("periodic queries need collect_counters=True")
+
+        future = rt.submit(root_fn, *root_args)
+        engine.run()
+        out.tasks_executed = rt.stats.tasks_executed
+        out.tasks_created = rt.stats.tasks_created
+        out.peak_live_tasks = rt.stats.peak_live_tasks
+        if rt.aborted:
+            out.aborted = True
+            out.abort_reason = rt.abort_reason
             out.exec_time_ns = engine.now
+            out.engine_events = engine.events_processed
+            return out
+        if not future.is_ready:
+            raise DeadlockError(rt.describe_stall())
+        result = future.value()
+        out.exec_time_ns = engine.now
+        if active is not None:
+            values = active.evaluate_active_counters(reset=True)
+            out.counters = {v.name: v.value for v in values}
+        if query is not None:
+            out.query_samples = query.samples
 
         out.verified = bench.verify(result, merged)
         if keep_result:

@@ -31,7 +31,7 @@ from repro.runtime.config import HpxParams
 from repro.simcore.machine import MachineSpec
 
 #: Bump to invalidate every cached cell (cache layout / semantics change).
-CACHE_KEY_VERSION = 1
+CACHE_KEY_VERSION = 2  # v2: std cells honor the counter configuration
 
 RUNTIMES = ("hpx", "std")
 
@@ -207,8 +207,8 @@ def cell_cache_key(spec: CampaignSpec, cell: Cell) -> str:
     resolved benchmark parameters, the machine model, the cost model of
     the *cell's own* runtime (an ``hpx`` cell is not invalidated by a
     ``std::async`` recalibration and vice versa), the counter
-    configuration (HPX only — counters are an HPX capability), the
-    package version, and :data:`CACHE_KEY_VERSION`.
+    configuration (counters instrument both runtimes), the package
+    version, and :data:`CACHE_KEY_VERSION`.
     """
     assert spec.std is not None
     payload: dict[str, Any] = {
@@ -220,11 +220,11 @@ def cell_cache_key(spec: CampaignSpec, cell: Cell) -> str:
         "seed": cell.seed,
         "params": spec.cell_params(cell),
         "machine": asdict(spec.machine),
+        "collect_counters": spec.collect_counters,
+        "counter_specs": list(spec.counter_specs) if spec.counter_specs else None,
     }
     if cell.runtime == "hpx":
         payload["hpx"] = asdict(spec.hpx)
-        payload["collect_counters"] = spec.collect_counters
-        payload["counter_specs"] = list(spec.counter_specs) if spec.counter_specs else None
     else:
         payload["std"] = asdict(spec.std)
     return stable_hash(payload)

@@ -34,7 +34,7 @@ class CounterEnvironment:
     """
 
     engine: Any  # repro.simcore.events.Engine
-    runtime: Any = None  # HpxRuntime (the paper's counters are HPX-only)
+    runtime: Any = None  # any repro.exec.backend.SchedulerBackend
     machine: Any = None  # repro.simcore.machine.Machine
     papi: Any = None  # repro.papi.hw.PapiSubstrate
     registry: Any = None  # back-reference, set by the registry itself

@@ -18,6 +18,7 @@ otherwise, matching Section V-C.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, Callable
 
 from repro.counters.base import (
@@ -68,33 +69,36 @@ class IdleRateCounter(PerformanceCounter):
         self._wall_base = self.env.engine.now
 
 
-def _scoped(name: CounterName, env: CounterEnvironment) -> tuple[Callable[[], Any], Any]:
-    """Return (stats_getter, runtime) for the instance *name* addresses.
+def _probe_view(name: CounterName, env: CounterEnvironment) -> Any:
+    """The typed probe object the instance *name* addresses.
 
-    ``total`` reads the thread-manager totals; ``worker-thread#N`` reads
-    that worker's stats.
+    ``total`` is the backend's :class:`~repro.exec.probes.SchedulerProbe`
+    totals; ``worker-thread#N`` is that worker's
+    :class:`~repro.exec.probes.WorkerProbe`.  Counters bind to these
+    views directly — never to scheduler internals — so every counter
+    works against any :class:`~repro.exec.backend.SchedulerBackend`.
     """
-    runtime = env.require("runtime")
+    probes = env.require("runtime").probes
     if name.instance_name == "total":
-        return (lambda: runtime.stats), runtime
+        return probes.total
     if name.instance_name == "worker-thread":
         index = name.instance_index
-        if index is None or not 0 <= index < runtime.num_workers:
+        if index is None or not 0 <= index < len(probes.workers):
             raise ValueError(f"bad worker-thread index in {name}")
-        return (lambda: runtime.workers[index].stats), runtime
+        return probes.workers[index]
     raise ValueError(f"unknown instance {name.instance_name!r} in {name}")
 
 
 def _mono(attr_total: str, attr_worker: str | None = None):
-    """Factory factory for monotonic counters over stats attributes."""
+    """Factory factory for monotonic counters over probe attributes."""
     attr_worker = attr_worker or attr_total
 
     def factory(
         name: CounterName, info: CounterInfo, env: CounterEnvironment
     ) -> PerformanceCounter:
-        stats_of, _ = _scoped(name, env)
+        view = _probe_view(name, env)
         attr = attr_total if name.instance_name == "total" else attr_worker
-        return MonotonicCounter(name, info, env, lambda: getattr(stats_of(), attr))
+        return MonotonicCounter(name, info, env, partial(getattr, view, attr))
 
     return factory
 
@@ -103,7 +107,7 @@ def _avg(num_total: str, den_total: str, num_worker: str, den_worker: str):
     def factory(
         name: CounterName, info: CounterInfo, env: CounterEnvironment
     ) -> PerformanceCounter:
-        stats_of, _ = _scoped(name, env)
+        view = _probe_view(name, env)
         if name.instance_name == "total":
             num_attr, den_attr = num_total, den_total
         else:
@@ -112,8 +116,8 @@ def _avg(num_total: str, den_total: str, num_worker: str, den_worker: str):
             name,
             info,
             env,
-            lambda: getattr(stats_of(), num_attr),
-            lambda: getattr(stats_of(), den_attr),
+            partial(getattr, view, num_attr),
+            partial(getattr, view, den_attr),
         )
 
     return factory
@@ -199,13 +203,35 @@ def register_threads_counters(registry: CounterRegistry) -> None:
         instrument=TIMING_INSTRUMENT_NS,
     )
 
-    entry(
-        "wait-time/pending",
-        CounterType.AVERAGE_TIMER,
-        "Average time a task spends staged in a queue before activation",
-        _avg("pending_wait_ns", "pending_waits", "pending_wait_ns", "pending_waits"),
-        unit="ns",
-        instrument=TIMING_INSTRUMENT_NS,
+    def wait_factory(
+        name: CounterName, info: CounterInfo, env: CounterEnvironment
+    ) -> PerformanceCounter:
+        # Queue wait accrues while a task belongs to no worker (it may be
+        # stolen, or sit in the kernel's global queue), so only the
+        # scheduler totals can attribute it.
+        if name.instance_name != "total":
+            raise ValueError(f"{name} only has a total instance")
+        view = env.require("runtime").probes.total
+        return AverageRatioCounter(
+            name,
+            info,
+            env,
+            partial(getattr, view, "pending_wait_ns"),
+            partial(getattr, view, "pending_waits"),
+        )
+
+    registry.register(
+        CounterTypeEntry(
+            info=CounterInfo(
+                type_name="/threads/wait-time/pending",
+                counter_type=CounterType.AVERAGE_TIMER,
+                help_text="Average time a task spends staged in a queue before activation",
+                unit="ns",
+                instrument_ns_per_task=TIMING_INSTRUMENT_NS,
+            ),
+            factory=wait_factory,
+            instances=lambda env: [("total", None)],
+        )
     )
 
     def suspended_factory(
@@ -214,7 +240,9 @@ def register_threads_counters(registry: CounterRegistry) -> None:
         runtime = env.require("runtime")
         if name.instance_name != "total":
             raise ValueError(f"{name} only has a total instance")
-        return RawCounter(name, info, env, lambda: runtime.stats.suspended_tasks)
+        return RawCounter(
+            name, info, env, partial(getattr, runtime.probes.total, "suspended_tasks")
+        )
 
     registry.register(
         CounterTypeEntry(
@@ -257,19 +285,16 @@ def register_threads_counters(registry: CounterRegistry) -> None:
     def stolen_cross_factory(
         name: CounterName, info: CounterInfo, env: CounterEnvironment
     ) -> PerformanceCounter:
-        runtime = env.require("runtime")
+        probes = env.require("runtime").probes
         if name.instance_name == "total":
             return MonotonicCounter(
                 name,
                 info,
                 env,
-                lambda: sum(w.stats.steals_cross_socket for w in runtime.workers),
+                lambda: sum(w.steals_cross_socket for w in probes.workers),
             )
-        index = name.instance_index
-        if index is None or not 0 <= index < runtime.num_workers:
-            raise ValueError(f"bad worker-thread index in {name}")
         return MonotonicCounter(
-            name, info, env, lambda: runtime.workers[index].stats.steals_cross_socket
+            name, info, env, partial(getattr, _probe_view(name, env), "steals_cross_socket")
         )
 
     entry(
@@ -289,7 +314,7 @@ def register_threads_counters(registry: CounterRegistry) -> None:
         index = name.instance_index
         if index is None or not 0 <= index < runtime.num_workers:
             raise ValueError(f"bad worker-thread index in {name}")
-        return RawCounter(name, info, env, lambda: len(runtime.workers[index].queue))
+        return RawCounter(name, info, env, partial(runtime.worker_queue_length, index))
 
     entry(
         "count/instantaneous/pending",
@@ -304,10 +329,9 @@ def register_threads_counters(registry: CounterRegistry) -> None:
         runtime = env.require("runtime")
         if name.instance_name == "total":
             return MonotonicCounter(name, info, env, runtime.steals_total)
-        index = name.instance_index
-        if index is None or not 0 <= index < runtime.num_workers:
-            raise ValueError(f"bad worker-thread index in {name}")
-        return MonotonicCounter(name, info, env, lambda: runtime.workers[index].stats.steals_ok)
+        return MonotonicCounter(
+            name, info, env, partial(getattr, _probe_view(name, env), "steals_ok")
+        )
 
     entry(
         "count/stolen",
@@ -320,19 +344,13 @@ def register_threads_counters(registry: CounterRegistry) -> None:
     def idle_factory(
         name: CounterName, info: CounterInfo, env: CounterEnvironment
     ) -> PerformanceCounter:
-        runtime = env.require("runtime")
+        probes = env.require("runtime").probes
         if name.instance_name == "total":
-            return IdleRateCounter(
-                name,
-                info,
-                env,
-                lambda: sum(w.stats.busy_ns for w in runtime.workers),
-                runtime.num_workers,
-            )
+            return IdleRateCounter(name, info, env, probes.busy_ns, len(probes.workers))
         index = name.instance_index
-        if index is None or not 0 <= index < runtime.num_workers:
+        if index is None or not 0 <= index < len(probes.workers):
             raise ValueError(f"bad worker-thread index in {name}")
-        return IdleRateCounter(name, info, env, lambda: runtime.workers[index].stats.busy_ns, 1)
+        return IdleRateCounter(name, info, env, partial(probes.busy_ns, index), 1)
 
     entry(
         "idle-rate",

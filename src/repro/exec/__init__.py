@@ -1,0 +1,49 @@
+"""Shared execution layer: one effect interpreter, many scheduler backends.
+
+Both task runtimes (:mod:`repro.runtime` — the HPX-style thread manager,
+:mod:`repro.kernel` — the ``std::async`` thread-per-task model) execute
+the same benchmark bodies: generator coroutines yielding
+:mod:`repro.model.effects` values.  This package holds everything that
+is runtime-independent about executing them:
+
+- :mod:`repro.exec.interp` — the single effect-interpretation loop
+  (coroutine resume, ``SimFuture`` payload/exception propagation, task
+  completion), dispatching each yielded effect to the backend;
+- :mod:`repro.exec.backend` — the :class:`SchedulerBackend` protocol a
+  runtime implements (spawn-policy decision, block/wake, dispatch cost,
+  memory commit);
+- :mod:`repro.exec.probes` — the instrumentation probe bus: typed stat
+  views feeding the counter framework, the trace hook, and the
+  per-activation instrumentation charge, shared by every backend;
+- :mod:`repro.exec.errors` — the execution failure modes (deadlock,
+  resource exhaustion) with diagnostics naming the stuck tasks.
+
+Adding a third runtime means implementing :class:`SchedulerBackend`
+(see ``docs/backends.md``); the interpreter, the counters, tracing and
+the experiment harness come along for free.
+"""
+
+from repro.exec.backend import SchedulerBackend
+from repro.exec.errors import (
+    DeadlockError,
+    ExecutionError,
+    ResourceExhausted,
+    describe_tasks,
+    format_stall,
+)
+from repro.exec.interp import EffectInterpreter
+from repro.exec.probes import KernelProbe, ProbeBus, SchedulerProbe, WorkerProbe
+
+__all__ = [
+    "DeadlockError",
+    "EffectInterpreter",
+    "ExecutionError",
+    "KernelProbe",
+    "ProbeBus",
+    "ResourceExhausted",
+    "SchedulerBackend",
+    "SchedulerProbe",
+    "WorkerProbe",
+    "describe_tasks",
+    "format_stall",
+]

@@ -1,0 +1,136 @@
+"""The scheduler-backend protocol the effect interpreter drives.
+
+A backend owns the *policy* side of execution: where a spawned task
+goes, what a dispatch costs, how blocking and waking work, whether
+memory is committed per task.  The *mechanics* — resuming the coroutine,
+routing ``SimFuture`` payloads and exceptions, completing tasks — live
+in :class:`repro.exec.interp.EffectInterpreter` and are shared.
+
+``repro.runtime.scheduler.HpxRuntime`` and
+``repro.kernel.scheduler.StdRuntime`` are the two implementations; see
+``docs/backends.md`` for how to add a third.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol, runtime_checkable
+
+from repro.exec.probes import ProbeBus
+from repro.model.effects import (
+    Await,
+    AwaitAll,
+    Compute,
+    Lock,
+    Spawn,
+    Unlock,
+    YieldNow,
+)
+
+
+@runtime_checkable
+class SchedulerBackend(Protocol):
+    """What a runtime must provide to execute effect coroutines.
+
+    The *worker* argument the interpreter threads through is opaque to
+    it: the HPX backend passes its worker object, the kernel backend
+    its core.  ``task`` is equally backend-owned (``Task`` or
+    ``OSThread``); the interpreter only touches the small task surface
+    it documents (``gen``, ``bind``, ``pending_send``, ``future``).
+    """
+
+    #: Short runtime name ("hpx", "std", ...), shown in results.
+    name: str
+    #: The discrete-event engine driving the simulation.
+    engine: Any
+    #: The published measurement surface (stats, trace, instrumentation).
+    probes: ProbeBus
+    #: True once the simulated process died (resource exhaustion).
+    aborted: bool
+    #: Human-readable reason when ``aborted``.
+    abort_reason: str | None
+
+    @property
+    def num_workers(self) -> int:
+        """Number of workers/cores the backend executes on."""
+        ...
+
+    # -- driving ----------------------------------------------------------
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> Any:
+        """Stage a root task; returns its ``SimFuture``."""
+        ...
+
+    def run_to_completion(self, fn: Callable[..., Any], *args: Any) -> Any:
+        """Submit *fn*, run the engine until quiescence, return its value."""
+        ...
+
+    def create_mutex(self) -> Any:
+        """A mutex usable with the ``Lock``/``Unlock`` effects."""
+        ...
+
+    def describe_stall(self) -> str:
+        """Diagnostic naming the unfinished tasks (deadlock reports)."""
+        ...
+
+    # -- interpreter hooks -------------------------------------------------
+
+    def begin_step(self, worker: Any, task: Any) -> bool:
+        """Gate one interpreter step; False drops it (aborted process)."""
+        ...
+
+    def complete(self, worker: Any, task: Any, value: Any) -> None:
+        """The task body returned *value*: retire it, fulfil its future."""
+        ...
+
+    def fail(self, worker: Any, task: Any, exc: BaseException) -> None:
+        """The task body raised: retire it, propagate through its future."""
+        ...
+
+    # -- effect handlers ---------------------------------------------------
+
+    def do_compute(self, worker: Any, task: Any, effect: Compute) -> None:
+        """Occupy the worker for the effect's simulated work."""
+        ...
+
+    def do_spawn(self, worker: Any, task: Any, effect: Spawn) -> None:
+        """Create a child task per the effect's launch policy."""
+        ...
+
+    def do_await(self, worker: Any, task: Any, effect: Await) -> None:
+        """Wait on one future (block, or resume immediately if ready)."""
+        ...
+
+    def do_await_all(self, worker: Any, task: Any, effect: AwaitAll) -> None:
+        """Wait on a set of futures."""
+        ...
+
+    def do_lock(self, worker: Any, task: Any, effect: Lock) -> None:
+        """Acquire the effect's mutex (block under contention)."""
+        ...
+
+    def do_unlock(self, worker: Any, task: Any, effect: Unlock) -> None:
+        """Release the effect's mutex, waking the next waiter."""
+        ...
+
+    def do_yield(self, worker: Any, task: Any, effect: YieldNow) -> None:
+        """Cooperatively reschedule the task behind its peers."""
+        ...
+
+    # -- counter sources ---------------------------------------------------
+
+    def queue_length(self) -> int:
+        """Instantaneous number of staged (runnable, unpicked) tasks."""
+        ...
+
+    def worker_queue_length(self, index: int) -> int:
+        """Staged tasks attributable to one worker (0 where queues are
+        global)."""
+        ...
+
+    def idle_rate(self, worker_index: int | None = None) -> float:
+        """Fraction of wall time not spent busy, in [0, 1]."""
+        ...
+
+    def steals_total(self) -> int:
+        """Tasks stolen across all workers (0 without work stealing)."""
+        ...

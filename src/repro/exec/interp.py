@@ -1,0 +1,84 @@
+"""The one effect-interpretation loop both runtimes execute through.
+
+Task bodies are generator coroutines yielding
+:mod:`repro.model.effects` values.  :class:`EffectInterpreter` owns the
+runtime-independent mechanics of driving them — resume the generator
+(``send`` or ``throw`` for exception propagation through futures),
+translate ``StopIteration`` into task completion and an uncaught
+exception into task failure, and dispatch the yielded effect through a
+table keyed on the effect's exact class (the effects are final frozen
+dataclasses, so a dict lookup replaces an isinstance chain on the
+hottest path).
+
+The backend supplies the policy: every handler, completion, failure and
+the per-step gate come from the :class:`~repro.exec.backend.SchedulerBackend`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.model.context import TaskContext
+from repro.model.effects import (
+    Await,
+    AwaitAll,
+    Compute,
+    Lock,
+    Spawn,
+    Unlock,
+    YieldNow,
+)
+from repro.model.future import ThrowValue
+
+Handler = Callable[[Any, Any, Any], None]
+
+
+class EffectInterpreter:
+    """Drives one backend's task coroutines, one step at a time.
+
+    A *step* is one resumption of a task body: send the pending value
+    (or throw the pending exception) into the generator, then hand the
+    yielded effect to the backend handler that implements it.  Backends
+    schedule ``interp.step`` on the event engine wherever they used to
+    schedule their private step function.
+    """
+
+    __slots__ = ("backend", "_handlers")
+
+    def __init__(self, backend: Any) -> None:
+        self.backend = backend
+        self._handlers: dict[type, Handler] = {
+            Compute: backend.do_compute,
+            Spawn: backend.do_spawn,
+            Await: backend.do_await,
+            AwaitAll: backend.do_await_all,
+            Lock: backend.do_lock,
+            Unlock: backend.do_unlock,
+            YieldNow: backend.do_yield,
+        }
+
+    def step(self, worker: Any, task: Any, send_value: Any) -> None:
+        """Resume *task* with *send_value* and dispatch what it yields."""
+        backend = self.backend
+        if not backend.begin_step(worker, task):
+            return
+        gen = task.gen
+        if gen is None:  # first activation: bind the body to its context
+            gen = task.bind(TaskContext(backend, task))
+        task.pending_send = None
+        try:
+            if send_value.__class__ is ThrowValue:
+                effect = gen.throw(send_value.exc)
+            else:
+                effect = gen.send(send_value)
+        except StopIteration as stop:
+            backend.complete(worker, task, stop.value)
+            return
+        except Exception as exc:  # body raised: propagate through the future
+            backend.fail(worker, task, exc)
+            return
+        handler = self._handlers.get(effect.__class__)
+        if handler is None:
+            backend.fail(worker, task, TypeError(f"task yielded non-effect {effect!r}"))
+            return
+        handler(worker, task, effect)

@@ -4,8 +4,8 @@ One module per concern:
 
 - :mod:`repro.experiments.config` — the paper's platform (Table III)
   and protocol constants;
-- :mod:`repro.experiments.runner` — one benchmark run
-  (:func:`run_benchmark`);
+- :mod:`repro.experiments.runner` — the :class:`RunResult` record of
+  one benchmark run (executed by :class:`repro.api.Session`);
 - :mod:`repro.experiments.harness` — strong scaling with per-sample
   counter evaluation and medians;
 - :mod:`repro.experiments.tables` — Table I and Table V generators;
@@ -20,7 +20,7 @@ from repro.experiments.harness import (
     aggregate_point,
     run_strong_scaling,
 )
-from repro.experiments.runner import RunResult, run_benchmark
+from repro.experiments.runner import RunResult
 
 __all__ = [
     "ExperimentConfig",
@@ -28,6 +28,5 @@ __all__ = [
     "ScalingCurve",
     "ScalingPoint",
     "aggregate_point",
-    "run_benchmark",
     "run_strong_scaling",
 ]

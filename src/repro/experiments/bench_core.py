@@ -190,7 +190,9 @@ _PATTERNS: dict[str, Callable[[Any], None]] = {
 }
 
 
-def _time_pattern(drive: Callable[[Any], None], factory: Callable[[], Any]) -> tuple[float, int, int]:
+def _time_pattern(
+    drive: Callable[[Any], None], factory: Callable[[], Any]
+) -> tuple[float, int, int]:
     engine = factory()
     t0 = time.perf_counter()
     drive(engine)
@@ -237,97 +239,29 @@ def run_core_patterns(repeat: int = 3) -> list[CorePattern]:
 # -- reference runs --------------------------------------------------------
 
 
-class _RecordingEngine:
-    """Engine wrapper noting every scheduled delay by dispatching event.
+def _replay_stream(
+    groups: array, delays: array, factory: Callable[[], Any]
+) -> tuple[float, int, int]:
+    """Timed :func:`repro.simcore.record.replay_stream`.
 
-    ``groups[i]``/``delays[i]`` pairs say "the *i*-th dispatched event
-    scheduled a new event ``delays[i]`` ns ahead" (group 0 is the
-    pre-run setup).  Dispatch order is deterministic, so the pairs are
-    produced — and can be replayed — in non-decreasing group order.
+    Returns ``(wall_seconds, now, events_processed)``.  The wall time
+    covers engine construction and the group-0 seed pushes too, but
+    those are O(1) against the millions of replayed events and both
+    engines pay them identically, so the speedup ratio is unaffected.
     """
+    from repro.simcore.record import replay_stream
 
-    def __init__(self) -> None:
-        from repro.simcore.events import Engine
-
-        self._engine = Engine()
-        self.dispatched = 0  # events fired so far (own count: the engine
-        # batches its public counter and only flushes it after run())
-        self.groups: array = array("q")
-        self.delays: array = array("q")
-
-    def __getattr__(self, name: str) -> Any:
-        return getattr(self._engine, name)
-
-    def _wrap(self, callback: Callback) -> Callback:
-        def fired(*args: Any) -> Any:
-            self.dispatched += 1
-            return callback(*args)
-
-        return fired
-
-    def _note(self, delay: int) -> None:
-        self.groups.append(self.dispatched)
-        self.delays.append(delay)
-
-    def call_later(self, delay: int, callback: Callback, *args: Any) -> None:
-        self._note(delay)
-        self._engine.call_later(delay, self._wrap(callback), *args)
-
-    def call_at(self, time_: int, callback: Callback, *args: Any) -> None:
-        self._note(time_ - self._engine.now)
-        self._engine.call_at(time_, self._wrap(callback), *args)
-
-    def schedule(self, delay: int, callback: Callback, *args: Any) -> Any:
-        self._note(delay)
-        return self._engine.schedule(delay, self._wrap(callback), *args)
-
-    def schedule_at(self, time_: int, callback: Callback, *args: Any) -> Any:
-        self._note(time_ - self._engine.now)
-        return self._engine.schedule_at(time_, self._wrap(callback), *args)
-
-
-Callback = Callable[..., Any]
-
-
-def _replay_stream(groups: array, delays: array, factory: Callable[[], Any]) -> tuple[float, int, int]:
-    """Replay a recorded delay stream with no-op callbacks.
-
-    Reproduces the recorded run's exact (time, seq) queue dynamics —
-    the engine under test does all the same pushes and pops, only the
-    simulation work inside each callback is gone.  Callbacks carry one
-    positional argument, like every real scheduler push: on the legacy
-    engine that exercises the per-event closure bind the pre-PR call
-    sites paid.
-    """
-    engine = factory()
-    call_later = engine.call_later
-    n = len(groups)
-    state = [0, 0]  # dispatched count, stream cursor
-
-    def fire(_arg: int) -> None:
-        k = state[0] + 1
-        state[0] = k
-        c = state[1]
-        while c < n and groups[c] == k:
-            call_later(delays[c], fire, k)
-            c += 1
-        state[1] = c
-
-    c = 0
-    while c < n and groups[c] == 0:
-        call_later(delays[c], fire, 0)
-        c += 1
-    state[1] = c
     t0 = time.perf_counter()
-    engine.run()
-    wall = time.perf_counter() - t0
-    return wall, engine.now, engine.events_processed
+    _, now, events = replay_stream(groups, delays, factory)
+    return time.perf_counter() - t0, now, events
 
 
 def _record_stream(
     benchmark: str, runtime: str, cores: int, params: Mapping[str, Any]
 ) -> tuple[array, array, Any]:
-    recorder = _RecordingEngine()
+    from repro.simcore.record import RecordingEngine
+
+    recorder = RecordingEngine()
     _, result = _run_once(benchmark, runtime, cores, params, lambda: recorder)
     return recorder.groups, recorder.delays, result
 

@@ -1,24 +1,16 @@
-"""Single-run driver: one benchmark, one runtime, one core count.
+"""The result record of one benchmark run.
 
-This is the reproduction of one cell of the paper's experiment matrix:
-build the simulated node, run the benchmark to completion under the
-chosen runtime, verify the computed result, and — for HPX — evaluate
-the performance counters for the sample exactly as the paper does with
-``hpx::evaluate_active_counters`` / ``reset_active_counters``.
-
-.. deprecated::
-    :func:`run_benchmark` is kept for backwards compatibility; new code
-    should use :class:`repro.api.Session`, which fixes the environment
-    once and runs benchmarks against it.
+One :class:`RunResult` is one cell of the paper's experiment matrix:
+wall time, verification, counter values sampled exactly as the paper
+does with ``hpx::evaluate_active_counters`` / ``reset_active_counters``,
+and the process statistics.  Runs are executed by
+:class:`repro.api.Session`.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
-
-from repro.experiments.config import ExperimentConfig
+from typing import Any
 
 
 @dataclass
@@ -58,58 +50,3 @@ class RunResult:
         except KeyError:
             known = "\n  ".join(self.counters)
             raise KeyError(f"no counter {name!r} in result; collected:\n  {known}") from None
-
-
-def run_benchmark(
-    benchmark: str,
-    *,
-    runtime: str = "hpx",
-    cores: int = 1,
-    params: Mapping[str, Any] | None = None,
-    config: ExperimentConfig | None = None,
-    counter_specs: Sequence[str] | None = None,
-    collect_counters: bool = True,
-    keep_result: bool = False,
-    query_interval_ns: int | None = None,
-    query_sink: Any = None,
-) -> RunResult:
-    """Run one benchmark sample; returns a :class:`RunResult`.
-
-    ``runtime`` selects the HPX-style task runtime (``"hpx"``) or the
-    ``std::async`` kernel-thread baseline (``"std"``).  Counters are an
-    HPX capability (the paper's point), so for ``"std"`` only wall time
-    and process statistics are reported.
-
-    ``collect_counters=False`` disables counter instrumentation
-    entirely — used by the counter-overhead experiment of Section V-C.
-
-    ``query_interval_ns`` attaches an in-band periodic query (the
-    ``--hpx:print-counter-interval`` convenience layer): the active
-    counters are sampled every interval *during* the run, each sample
-    delivered to ``query_sink`` (a callable taking a list of
-    CounterValue rows) and collected on ``RunResult.query_samples``.
-
-    .. deprecated::
-        Use :class:`repro.api.Session`::
-
-            Session(runtime=runtime, cores=cores).run(benchmark, ...)
-    """
-    warnings.warn(
-        "run_benchmark() is deprecated; use repro.api.Session instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.api import Session  # late import: api builds on this module
-
-    if runtime not in ("hpx", "std"):
-        raise ValueError(f"unknown runtime {runtime!r}; expected 'hpx' or 'std'")
-    session = Session(runtime=runtime, cores=cores, config=config)
-    return session.run(
-        benchmark,
-        params=params,
-        counters=counter_specs,
-        collect_counters=collect_counters,
-        keep_result=keep_result,
-        query_interval_ns=query_interval_ns,
-        query_sink=query_sink,
-    )

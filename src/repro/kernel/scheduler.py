@@ -7,17 +7,24 @@ thread creation inside the parent; every not-ready ``get()`` pays a
 futex block/wake pair.  Committed memory is tracked per live thread and
 the process aborts when the budget is exhausted — the paper's observed
 failure mode for Fib, Health, NQueens and UTS.
+
+Effect interpretation is shared with the HPX model: this module is a
+:class:`repro.exec.backend.SchedulerBackend` implementation driven by
+:class:`repro.exec.interp.EffectInterpreter`, publishing its accounting
+on a :class:`repro.exec.probes.ProbeBus` so the same counters, trace
+recorder and metrics work on both runtimes.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.model.context import TaskContext
+from repro.exec.errors import DeadlockError, ResourceExhausted, describe_tasks, format_stall
+from repro.exec.interp import EffectInterpreter
+from repro.exec.probes import KernelProbe, ProbeBus, WorkerProbe
 from repro.model.effects import Await, AwaitAll, Compute, Lock, Spawn, Unlock, YieldNow
-from repro.model.future import SimFuture, ThrowValue, resume_payload, resume_payload_all
+from repro.model.future import SimFuture, resume_payload, resume_payload_all
 from repro.model.work import Work
 from repro.kernel.config import StdParams
 from repro.kernel.thread import OSThread, ThreadState
@@ -26,26 +33,10 @@ from repro.simcore.events import Engine
 from repro.simcore.machine import Machine
 from repro.simcore.topology import BindMode, Topology
 
+# Legacy spelling: the kernel stats struct is the shared probe type now.
+StdStats = KernelProbe
 
-class ResourceExhausted(RuntimeError):
-    """The process ran out of memory for thread stacks (paper: 'Abort')."""
-
-
-@dataclass(slots=True)
-class StdStats:
-    """Process-wide accounting for the kernel model."""
-
-    threads_created: int = 0
-    threads_completed: int = 0
-    live_threads: int = 0
-    peak_live_threads: int = 0
-    committed_bytes: int = 0
-    exec_ns: int = 0
-    overhead_ns: int = 0
-    dispatches: int = 0
-    preemptions: int = 0
-    blocks: int = 0
-    wakes: int = 0
+__all__ = ["KMutex", "ResourceExhausted", "StdRuntime", "StdStats"]
 
 
 class KMutex:
@@ -84,13 +75,14 @@ class KMutex:
 
 
 class _KCore:
-    __slots__ = ("index", "core_index", "socket", "current")
+    __slots__ = ("index", "core_index", "socket", "current", "stats")
 
     def __init__(self, index: int, core_index: int, socket: int) -> None:
         self.index = index
         self.core_index = core_index
         self.socket = socket
         self.current: OSThread | None = None
+        self.stats = WorkerProbe()
 
 
 class StdRuntime:
@@ -114,13 +106,18 @@ class StdRuntime:
         cores = self.topology.binding(num_workers, bind_mode)
         self.cores = [_KCore(i, core, machine.spec.socket_of(core)) for i, core in enumerate(cores)]
         self.run_queue: deque[OSThread] = deque()
-        self.stats = StdStats()
+        # The shared effect interpreter and the published probe bus.
+        self._interp = EffectInterpreter(self)
+        self._step = self._interp.step
+        self.probes = ProbeBus(KernelProbe(), [c.stats for c in self.cores])
+        self.stats = self.probes.total
         self._next_tid = 0
         self._next_mid = 0
         self.aborted = False
         self.abort_reason: str | None = None
         self._fulfil_core: _KCore | None = None
         self._root_future: SimFuture | None = None
+        self._live_threads: dict[int, OSThread] = {}
         # Simulated global scheduler lock: the time until which it is held.
         self._lock_free_at = 0
 
@@ -132,6 +129,30 @@ class StdRuntime:
     def num_workers(self) -> int:
         return len(self.cores)
 
+    @property
+    def workers(self) -> list[_KCore]:
+        """The bound cores (the backend's per-worker view)."""
+        return self.cores
+
+    def add_instrumentation(self, delta_ns: int) -> None:
+        """Register (positive) or remove (negative) per-dispatch
+        instrumentation cost; called by counter ``start``/``stop``."""
+        self.probes.add_instrumentation(delta_ns)
+
+    @property
+    def instrument_ns(self) -> int:
+        """Per-dispatch instrumentation charge (lives on the probe bus)."""
+        return self.probes.instrument_ns
+
+    @property
+    def trace(self) -> Callable[[int, str, OSThread, int | None], None] | None:
+        """The thread life-cycle trace hook (lives on the probe bus)."""
+        return self.probes.trace
+
+    @trace.setter
+    def trace(self, hook: Callable[[int, str, OSThread, int | None], None] | None) -> None:
+        self.probes.trace = hook
+
     def create_mutex(self) -> KMutex:
         m = KMutex(self._next_mid)
         self._next_mid += 1
@@ -140,7 +161,9 @@ class StdRuntime:
     def submit(self, fn: Callable[..., Any], *args: Any) -> SimFuture:
         """Start the main thread running *fn*."""
         main = self._make_thread(fn, args, home_socket=self.cores[0].socket, is_main=True)
-        self._root_future = main.future
+        if self._root_future is None:  # later submits (e.g. query tasks) don't displace the root
+            self._root_future = main.future
+        main.staged_at = self.engine.now
         self.run_queue.append(main)
         self._dispatch()
         return main.future
@@ -151,8 +174,38 @@ class StdRuntime:
         if self.aborted:
             raise ResourceExhausted(self.abort_reason or "out of memory")
         if not future.is_ready:
-            raise RuntimeError("kernel model deadlocked: main thread never finished")
+            raise DeadlockError(self.describe_stall())
         return future.value()
+
+    def describe_stall(self) -> str:
+        stuck = [
+            t for t in self._live_threads.values() if t.state is not ThreadState.TERMINATED
+        ]
+        return format_stall(stuck, now_ns=self.engine.now, noun="thread")
+
+    # -- counter sources --------------------------------------------------
+
+    def queue_length(self) -> int:
+        """Instantaneous length of the global run queue."""
+        return len(self.run_queue)
+
+    def worker_queue_length(self, index: int) -> int:
+        """Cores have no local queues; all staging is global."""
+        return 0
+
+    def idle_rate(self, worker_index: int | None = None) -> float:
+        """Fraction of wall time not spent busy, in [0, 1]."""
+        wall = self.engine.now
+        if wall <= 0:
+            return 0.0
+        if worker_index is None:
+            busy = sum(c.stats.busy_ns for c in self.cores)
+            return max(0.0, 1.0 - busy / (wall * len(self.cores)))
+        return max(0.0, 1.0 - self.cores[worker_index].stats.busy_ns / wall)
+
+    def steals_total(self) -> int:
+        """The kernel scheduler does not steal (single global queue)."""
+        return 0
 
     # ------------------------------------------------------------------
     # thread management
@@ -164,6 +217,7 @@ class StdRuntime:
         args: tuple,
         *,
         home_socket: int,
+        parent: OSThread | None = None,
         deferred: bool = False,
         is_main: bool = False,
     ) -> OSThread:
@@ -173,11 +227,14 @@ class StdRuntime:
             args,
             home_socket=home_socket,
             created_at=self.engine.now,
+            parent_tid=parent.tid if parent else None,
             deferred=deferred,
             is_main=is_main,
         )
         self._next_tid += 1
-        self.stats.threads_created += 1
+        self.stats.tasks_created += 1
+        self._live_threads[thread.tid] = thread
+        self.probes.emit(self.engine.now, "create", thread, None)
         if not deferred:
             self._commit_memory(thread)
         return thread
@@ -185,22 +242,25 @@ class StdRuntime:
     def _commit_memory(self, thread: OSThread) -> None:
         thread.committed = True
         stats = self.stats
-        stats.live_threads += 1
-        if stats.live_threads > stats.peak_live_threads:
-            stats.peak_live_threads = stats.live_threads
+        stats.live_tasks += 1
+        if stats.live_tasks > stats.peak_live_tasks:
+            stats.peak_live_tasks = stats.live_tasks
         stats.committed_bytes += self.params.thread_commit_bytes
-        if self.stats.committed_bytes > self.params.ram_budget_bytes:
+        if stats.committed_bytes > self.params.ram_budget_bytes:
             self._abort(
-                f"thread stacks exhausted memory: {self.stats.live_threads} live "
+                f"thread stacks exhausted memory: {stats.live_tasks} live "
                 f"threads x {self.params.thread_commit_bytes} B > "
                 f"{self.params.ram_budget_bytes} B budget"
             )
 
     def _abort(self, reason: str) -> None:
         self.aborted = True
-        self.abort_reason = reason
+        # Over-budget diagnostics: name the threads holding the memory.
+        live = [t for t in self._live_threads.values() if t.committed]
+        detail = describe_tasks(live, noun="thread", limit=5)
+        self.abort_reason = "\n".join([reason, *detail]) if detail else reason
         if self._root_future is not None and not self._root_future.is_ready:
-            self._root_future.set_exception(ResourceExhausted(reason))
+            self._root_future.set_exception(ResourceExhausted(self.abort_reason))
         self.engine.stop(reason)
 
     # ------------------------------------------------------------------
@@ -222,6 +282,7 @@ class StdRuntime:
         """Assign runnable threads to free cores (lowest index first)."""
         if self.aborted:
             return
+        stats = self.stats
         for core in self.cores:
             if not self.run_queue:
                 return
@@ -231,10 +292,19 @@ class StdRuntime:
             core.current = thread
             thread.state = ThreadState.RUNNING
             thread.slices += 1
-            self.stats.dispatches += 1
-            cost = self.params.context_switch_ns + self._lock_delay(self.params.runqueue_hold_ns)
-            thread.overhead_ns += cost
-            self.stats.overhead_ns += cost
+            stats.dispatches += 1
+            stats.phases += 1
+            if thread.staged_at is not None:
+                stats.pending_wait_ns += self.engine.now - thread.staged_at
+                stats.pending_waits += 1
+                thread.staged_at = None
+            cost = (
+                self.params.context_switch_ns
+                + self.probes.instrument_ns
+                + self._lock_delay(self.params.runqueue_hold_ns)
+            )
+            self._charge_overhead(core, thread, cost)
+            self.probes.emit(self.engine.now, "activate", thread, core.index)
             self.engine.call_later(cost, self._run, core, thread)
 
     def _free_core(self, core: _KCore) -> None:
@@ -246,79 +316,54 @@ class StdRuntime:
             return
         if thread.preempted_work is not None:
             work, thread.preempted_work = thread.preempted_work, None
-            self._do_compute(core, thread, work)
+            self._compute_work(core, thread, work)
             return
         self._step(core, thread, thread.pending_send)
 
+    # -- blocking helpers --------------------------------------------------
+
+    def _block(self, thread: OSThread) -> None:
+        """Mark *thread* blocked (futex wait on a future or mutex)."""
+        thread.state = ThreadState.BLOCKED
+        self.stats.suspended_tasks += 1
+
+    def _unblock(self, thread: OSThread) -> None:
+        if thread.state is ThreadState.BLOCKED:
+            self.stats.suspended_tasks -= 1
+
+    # -- accounting: charge *ns* to a thread's exec or overhead time -------
+
+    def _charge_exec(self, core: _KCore, thread: OSThread, ns: int) -> None:
+        thread.exec_ns += ns
+        self.stats.exec_ns += ns
+        core.stats.exec_ns += ns
+        core.stats.busy_ns += ns
+
+    def _charge_overhead(self, core: _KCore, thread: OSThread, ns: int) -> None:
+        thread.overhead_ns += ns
+        self.stats.overhead_ns += ns
+        core.stats.overhead_ns += ns
+        core.stats.busy_ns += ns
+
     # ------------------------------------------------------------------
-    # effect interpreter
+    # SchedulerBackend: effect handlers (the interpreter dispatches here)
     # ------------------------------------------------------------------
 
-    def _step(self, core: _KCore, thread: OSThread, send_value: Any) -> None:
-        if self.aborted:
-            return
-        gen = thread.gen
-        if gen is None:  # first activation: bind the body to its context
-            gen = thread.bind(TaskContext(self, thread))
-        thread.pending_send = None
-        try:
-            if send_value.__class__ is ThrowValue:
-                effect = gen.throw(send_value.exc)
-            else:
-                effect = gen.send(send_value)
-        except StopIteration as stop:
-            self._complete(core, thread, stop.value)
-            return
-        except Exception as exc:
-            self._fail(core, thread, exc)
-            return
-        self._dispatch_effect(core, thread, effect)
-
-    def _dispatch_effect(self, core: _KCore, thread: OSThread, effect: Any) -> None:
-        cls = effect.__class__
-        if cls is Compute:
-            self._do_compute(core, thread, effect.work)
-        elif cls is Spawn:
-            self._do_spawn(core, thread, effect)
-        elif cls is Await:
-            self._do_await(core, thread, effect.future)
-        elif cls is AwaitAll:
-            self._do_await_all(core, thread, effect.futures)
-        elif cls is Lock:
-            self._do_lock(core, thread, effect.mutex)
-        elif cls is Unlock:
-            self._do_unlock(core, thread, effect.mutex)
-        elif cls is YieldNow:
-            self._do_yield(core, thread)
-        else:
-            self._fail(core, thread, TypeError(f"thread yielded non-effect {effect!r}"))
+    def begin_step(self, core: _KCore, thread: OSThread) -> bool:
+        """Interpreter gate: nothing runs once the process aborted."""
+        return not self.aborted
 
     # -- compute with preemption ------------------------------------------
 
-    def _do_compute(self, core: _KCore, thread: OSThread, work: Work) -> None:
+    def do_compute(self, core: _KCore, thread: OSThread, effect: Compute) -> None:
+        self._compute_work(core, thread, effect.work)
+
+    def _compute_work(self, core: _KCore, thread: OSThread, work: Work) -> None:
         quantum = self.params.time_slice_ns
-        preempt = work.cpu_ns > quantum and bool(self.run_queue)
-        if preempt:
-            frac = quantum / work.cpu_ns
-            part = Work(
-                cpu_ns=quantum,
-                membytes=round(work.membytes * frac),
-                working_set=work.working_set,
-                data_rd_fraction=work.data_rd_fraction,
-                code_rd_fraction=work.code_rd_fraction,
-                rfo_fraction=work.rfo_fraction,
-            )
-            rest = Work(
-                cpu_ns=work.cpu_ns - quantum,
-                membytes=work.membytes - part.membytes,
-                working_set=work.working_set,
-                data_rd_fraction=work.data_rd_fraction,
-                code_rd_fraction=work.code_rd_fraction,
-                rfo_fraction=work.rfo_fraction,
-            )
+        if work.cpu_ns > quantum and self.run_queue:
+            part, rest = work.split_at(quantum)
         else:
             part, rest = work, None
-
         cross = (
             self.params.cross_socket_data_fraction
             if thread.home_socket != core.socket and part.membytes > 0
@@ -326,8 +371,7 @@ class StdRuntime:
         )
         ticket = self.machine.segment_begin(core.core_index, part, cross_socket_fraction=cross)
         duration = ticket.duration_ns
-        thread.exec_ns += duration
-        self.stats.exec_ns += duration
+        self._charge_exec(core, thread, duration)
         self.engine.call_later(duration, self._finish_compute, core, thread, ticket, part, rest)
 
     def _finish_compute(
@@ -338,6 +382,7 @@ class StdRuntime:
             self.stats.preemptions += 1
             thread.preempted_work = rest
             thread.state = ThreadState.RUNNABLE
+            thread.staged_at = self.engine.now
             self.run_queue.append(thread)
             self._free_core(core)
         else:
@@ -345,32 +390,35 @@ class StdRuntime:
 
     # -- spawn ---------------------------------------------------------------
 
-    def _do_spawn(self, core: _KCore, thread: OSThread, effect: Spawn) -> None:
+    def do_spawn(self, core: _KCore, thread: OSThread, effect: Spawn) -> None:
         policy = _POLICY_BY_NAME.get(effect.policy)
         if policy is None:
             policy = LaunchPolicy.parse(effect.policy)
         if policy is LaunchPolicy.ASYNC or policy is LaunchPolicy.FORK:
             # fork does not exist in std; Inncabs maps it to async.
             cost = self.params.thread_create_ns + self._lock_delay(self.params.create_hold_ns)
-            child = self._make_thread(effect.fn, effect.args, home_socket=core.socket)
+            child = self._make_thread(
+                effect.fn, effect.args, home_socket=core.socket, parent=thread
+            )
             if self.aborted:
                 return
-            thread.exec_ns += cost
-            self.stats.exec_ns += cost
+            self._charge_exec(core, thread, cost)
+            child.staged_at = self.engine.now
             self.run_queue.append(child)
             self.engine.call_later(cost, self._created, core, thread, child)
             return
         if policy is LaunchPolicy.DEFERRED:
             child = self._make_thread(
-                effect.fn, effect.args, home_socket=core.socket, deferred=True
+                effect.fn, effect.args, home_socket=core.socket, parent=thread, deferred=True
             )
             cost = self.params.future_get_ready_ns
-            thread.exec_ns += cost
-            self.stats.exec_ns += cost
+            self._charge_exec(core, thread, cost)
             self.engine.call_later(cost, self._step, core, thread, child.future)
             return
         # SYNC: run inline on this thread, borrowing the core.
-        child = self._make_thread(effect.fn, effect.args, home_socket=core.socket, deferred=True)
+        child = self._make_thread(
+            effect.fn, effect.args, home_socket=core.socket, parent=thread, deferred=True
+        )
         self._run_inline(core, thread, child, send_future=True)
 
     def _created(self, core: _KCore, thread: OSThread, child: OSThread) -> None:
@@ -383,26 +431,31 @@ class StdRuntime:
         self, core: _KCore, thread: OSThread, child: OSThread, *, send_future: bool
     ) -> None:
         """Execute a deferred child synchronously on the calling thread."""
-        thread.state = ThreadState.BLOCKED
+        self._block(thread)
+        self.probes.emit(self.engine.now, "suspend", thread, core.index)
 
         def done(fut: SimFuture) -> None:
+            self._unblock(thread)
             thread.state = ThreadState.RUNNING
             core.current = thread
+            self.probes.emit(self.engine.now, "resume", thread, core.index)
             value = fut if send_future else resume_payload(fut)
             self._step(core, thread, value)
 
         child.future.on_ready(done)
         child.state = ThreadState.RUNNING
         core.current = child
+        self.probes.emit(self.engine.now, "activate", child, core.index)
         self._step(core, child, None)
 
     # -- waiting ---------------------------------------------------------------
 
-    def _do_await(self, core: _KCore, thread: OSThread, future: SimFuture) -> None:
+    def do_await(self, core: _KCore, thread: OSThread, effect: Await) -> None:
+        future = effect.future
         if future.is_ready:
             cost = self.params.future_get_ready_ns
-            thread.exec_ns += cost
-            self.stats.exec_ns += cost
+            self._charge_exec(core, thread, cost)
+            self.probes.emit_dependencies(self.engine.now, thread, (future,))
             payload = resume_payload(future)
             self.engine.call_later(cost, self._step, core, thread, payload)
             return
@@ -411,48 +464,59 @@ class StdRuntime:
             self._run_inline(core, thread, producer, send_future=False)
             return
         cost = self.params.block_ns
-        thread.overhead_ns += cost
-        self.stats.overhead_ns += cost
+        self._charge_overhead(core, thread, cost)
         self.stats.blocks += 1
-        thread.state = ThreadState.BLOCKED
-        future.on_ready(lambda fut: self._wake(thread, resume_payload(fut)))
+        self._block(thread)
+        self.probes.emit(self.engine.now, "suspend", thread, core.index)
+
+        def ready(fut: SimFuture) -> None:
+            self.probes.emit_dependencies(self.engine.now, thread, (fut,))
+            self._wake(thread, resume_payload(fut))
+
+        future.on_ready(ready)
         self.engine.call_later(cost, self._free_core, core)
 
-    def _do_await_all(self, core: _KCore, thread: OSThread, futures: tuple) -> None:
+    def do_await_all(self, core: _KCore, thread: OSThread, effect: AwaitAll) -> None:
+        futures = effect.futures
         for fut in futures:
             producer = fut.producer_task
             if isinstance(producer, OSThread) and producer.state is ThreadState.DEFERRED:
                 # Run the deferred child now, then re-issue the wait.
                 def resume_wait(_f: SimFuture, t=thread, fs=futures) -> None:
                     c = self._core_of(t)
+                    self._unblock(t)
                     t.state = ThreadState.RUNNING
                     c.current = t
-                    self._do_await_all(c, t, fs)
+                    self.probes.emit(self.engine.now, "resume", t, c.index)
+                    self.do_await_all(c, t, AwaitAll(futures=fs))
 
-                thread.state = ThreadState.BLOCKED
+                self._block(thread)
+                self.probes.emit(self.engine.now, "suspend", thread, core.index)
                 producer.future.on_ready(resume_wait)
                 producer.state = ThreadState.RUNNING
                 core.current = producer
+                self.probes.emit(self.engine.now, "activate", producer, core.index)
                 self._step(core, producer, None)
                 return
         pending = [f for f in futures if not f.is_ready]
         if not pending:
             cost = self.params.future_get_ready_ns
-            thread.exec_ns += cost
-            self.stats.exec_ns += cost
+            self._charge_exec(core, thread, cost)
+            self.probes.emit_dependencies(self.engine.now, thread, futures)
             payload = resume_payload_all(futures)
             self.engine.call_later(cost, self._step, core, thread, payload)
             return
         cost = self.params.block_ns
-        thread.overhead_ns += cost
-        self.stats.overhead_ns += cost
+        self._charge_overhead(core, thread, cost)
         self.stats.blocks += 1
-        thread.state = ThreadState.BLOCKED
+        self._block(thread)
+        self.probes.emit(self.engine.now, "suspend", thread, core.index)
         remaining = {"count": len(pending)}
 
         def one_ready(_fut: SimFuture) -> None:
             remaining["count"] -= 1
             if remaining["count"] == 0:
+                self.probes.emit_dependencies(self.engine.now, thread, futures)
                 self._wake(thread, resume_payload_all(futures))
 
         for fut in pending:
@@ -475,63 +539,68 @@ class StdRuntime:
         self.stats.overhead_ns += cost
         thread.overhead_ns += cost
         thread.pending_send = send_value
+        self._unblock(thread)
         thread.state = ThreadState.RUNNABLE
+        thread.staged_at = self.engine.now
         self.run_queue.append(thread)
+        self.probes.emit(self.engine.now, "resume", thread, None)
         self.engine.call_later(cost, self._dispatch)
 
     # -- mutexes -----------------------------------------------------------------
 
-    def _do_lock(self, core: _KCore, thread: OSThread, mutex: KMutex) -> None:
+    def do_lock(self, core: _KCore, thread: OSThread, effect: Lock) -> None:
+        mutex = effect.mutex
         if mutex.try_acquire(thread):
             cost = self.params.mutex_ns
-            thread.exec_ns += cost
-            self.stats.exec_ns += cost
+            self._charge_exec(core, thread, cost)
             self.engine.call_later(cost, self._step, core, thread, None)
             return
         cost = self.params.block_ns
-        thread.overhead_ns += cost
-        self.stats.overhead_ns += cost
+        self._charge_overhead(core, thread, cost)
         self.stats.blocks += 1
-        thread.state = ThreadState.BLOCKED
+        self._block(thread)
+        self.probes.emit(self.engine.now, "suspend", thread, core.index)
         mutex.enqueue_waiter(thread)
         self.engine.call_later(cost, self._free_core, core)
 
-    def _do_unlock(self, core: _KCore, thread: OSThread, mutex: KMutex) -> None:
-        nxt = mutex.release(thread)
+    def do_unlock(self, core: _KCore, thread: OSThread, effect: Unlock) -> None:
+        nxt = effect.mutex.release(thread)
         cost = self.params.mutex_ns
-        thread.exec_ns += cost
-        self.stats.exec_ns += cost
+        self._charge_exec(core, thread, cost)
         if nxt is not None:
             self._wake(nxt, None)
         self.engine.call_later(cost, self._step, core, thread, None)
 
-    def _do_yield(self, core: _KCore, thread: OSThread) -> None:
+    def do_yield(self, core: _KCore, thread: OSThread, effect: YieldNow) -> None:
         cost = self.params.context_switch_ns
-        thread.overhead_ns += cost
-        self.stats.overhead_ns += cost
+        self._charge_overhead(core, thread, cost)
         thread.state = ThreadState.RUNNABLE
         thread.pending_send = None
+        thread.staged_at = self.engine.now
         self.run_queue.append(thread)
         self.engine.call_later(cost, self._free_core, core)
 
     # -- completion -----------------------------------------------------------------
 
-    def _complete(self, core: _KCore, thread: OSThread, value: Any) -> None:
+    def complete(self, core: _KCore, thread: OSThread, value: Any) -> None:
         self._retire(core, thread, lambda: thread.future.set_value(value))
 
-    def _fail(self, core: _KCore, thread: OSThread, exc: BaseException) -> None:
+    def fail(self, core: _KCore, thread: OSThread, exc: BaseException) -> None:
         self._retire(core, thread, lambda: thread.future.set_exception(exc))
 
     def _retire(self, core: _KCore, thread: OSThread, fulfil: Callable[[], None]) -> None:
         thread.state = ThreadState.TERMINATED
-        self.stats.threads_completed += 1
+        stats = self.stats
+        stats.tasks_executed += 1
+        core.stats.tasks_executed += 1
+        del self._live_threads[thread.tid]
         # Deferred/sync children never committed memory; real threads did.
         if thread.committed:
-            self.stats.live_threads -= 1
-            self.stats.committed_bytes -= self.params.thread_commit_bytes
+            stats.live_tasks -= 1
+            stats.committed_bytes -= self.params.thread_commit_bytes
         cost = self.params.thread_destroy_ns if thread.committed else 0
-        thread.overhead_ns += cost
-        self.stats.overhead_ns += cost
+        self._charge_overhead(core, thread, cost)
+        self.probes.emit(self.engine.now, "terminate", thread, core.index)
         prev = self._fulfil_core
         self._fulfil_core = core
         try:

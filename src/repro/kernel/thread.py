@@ -33,6 +33,8 @@ class OSThread:
         "state",
         "home_socket",
         "created_at",
+        "parent_tid",
+        "staged_at",
         "gen",
         "pending_send",
         "preempted_work",
@@ -52,6 +54,7 @@ class OSThread:
         *,
         home_socket: int,
         created_at: int,
+        parent_tid: int | None = None,
         deferred: bool = False,
         is_main: bool = False,
     ) -> None:
@@ -62,6 +65,10 @@ class OSThread:
         self.state = ThreadState.DEFERRED if deferred else ThreadState.RUNNABLE
         self.home_socket = home_socket
         self.created_at = created_at
+        self.parent_tid = parent_tid
+        # When the thread entered the run queue (backs the pending-wait
+        # accounting); None while running/blocked.
+        self.staged_at: int | None = None
         self.gen: Generator | None = None
         self.pending_send: Any = None
         # Remaining Work when the thread was preempted mid-segment.

@@ -16,7 +16,7 @@ from repro.model.work import Work
 
 # Shared effects for the common ``ctx.compute(cpu_ns, membytes=...)`` call
 # shape (see TaskContext.compute).  Keyed by (cpu_ns, membytes).
-_COMPUTE_CACHE: dict = {}
+_COMPUTE_CACHE: dict[tuple[Work | int, int], Compute] = {}
 
 
 class TaskContext:

@@ -34,7 +34,7 @@ class Spawn(Effect):
     def __init__(
         self,
         fn: Callable[..., Any],
-        args: tuple = (),
+        args: tuple[Any, ...] = (),
         policy: str = "async",
         stack_bytes: int = 0,
     ) -> None:

@@ -1,27 +1,27 @@
-"""The HPX-style thread manager.
+"""The HPX-style thread manager: a work-stealing user-level thread
+scheduler on top of :class:`repro.simcore.events.Engine`.
 
-Event-driven implementation of a work-stealing user-level thread
-scheduler on top of :class:`repro.simcore.events.Engine`:
-
-- one :class:`Worker` per bound core, each with a double-ended queue
-  (owner LIFO / thief FIFO);
-- idle workers are woken by notifications, never by polling, so the
-  event queue drains exactly when the application has quiesced;
-- victims are scanned same-socket-first — stealing across the socket
-  boundary costs more, producing the 10-core knee of Figures 11/12;
-- every scheduling action is accounted to either *task execution time*
-  or *task scheduling overhead*, the two quantities behind the paper's
-  ``/threads/time/*`` performance counters.
+One worker per bound core, each with a double-ended queue (owner LIFO /
+thief FIFO); idle workers are woken by notifications, never by polling;
+victims are scanned same-socket-first — cross-socket steals cost more,
+producing the 10-core knee of Figures 11/12.  Every scheduling action
+is accounted to either *task execution time* or *task scheduling
+overhead*, the two quantities behind the paper's ``/threads/time/*``
+counters.  Effect interpretation is shared with the kernel model: this
+is a :class:`repro.exec.backend.SchedulerBackend` driven by
+:class:`repro.exec.interp.EffectInterpreter`, publishing accounting on
+a :class:`repro.exec.probes.ProbeBus`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.model.context import TaskContext
+from repro.exec.errors import DeadlockError, format_stall
+from repro.exec.interp import EffectInterpreter
+from repro.exec.probes import ProbeBus, SchedulerProbe, WorkerProbe
 from repro.model.effects import Await, AwaitAll, Compute, Lock, Spawn, Unlock, YieldNow
-from repro.model.future import SimFuture, ThrowValue, resume_payload, resume_payload_all
+from repro.model.future import SimFuture, resume_payload, resume_payload_all
 from repro.model.work import Work
 from repro.runtime.config import HpxParams
 from repro.runtime.policies import LaunchPolicy, _BY_NAME as _POLICY_BY_NAME
@@ -32,44 +32,17 @@ from repro.simcore.events import Engine
 from repro.simcore.machine import Machine
 from repro.simcore.topology import BindMode, Topology
 
+# Legacy spellings: the accounting structs are the shared probe types
+# now (see repro.exec.probes); DeadlockError moved to repro.exec.errors.
+WorkerStats = WorkerProbe
+ThreadManagerStats = SchedulerProbe
 
-class DeadlockError(RuntimeError):
-    """The event queue drained with unfinished tasks."""
-
+__all__ = ["DeadlockError", "HpxRuntime", "ThreadManagerStats", "WorkerStats"]
 
 # Hot-path aliases: `policy is _ASYNC` instead of enum-member loads.
 _ASYNC = LaunchPolicy.ASYNC
 _FORK = LaunchPolicy.FORK
 _SYNC = LaunchPolicy.SYNC
-
-
-@dataclass(slots=True)
-class WorkerStats:
-    """Per-worker accounting (backs the worker-thread counter instances)."""
-
-    exec_ns: int = 0
-    overhead_ns: int = 0
-    busy_ns: int = 0
-    tasks_executed: int = 0
-    steals_attempted: int = 0
-    steals_ok: int = 0
-    steals_cross_socket: int = 0
-
-
-@dataclass(slots=True)
-class ThreadManagerStats:
-    """Global accounting (backs the ``total`` counter instances)."""
-
-    tasks_created: int = 0
-    tasks_executed: int = 0
-    exec_ns: int = 0  # cumulative task execution time
-    overhead_ns: int = 0  # cumulative scheduling overhead
-    phases: int = 0
-    live_tasks: int = 0
-    peak_live_tasks: int = 0
-    suspended_tasks: int = 0  # instantaneous: waiting on futures/mutexes
-    pending_wait_ns: int = 0  # cumulative staged->activated wait time
-    pending_waits: int = 0  # activations that came through a queue
 
 
 class _Worker:
@@ -105,6 +78,10 @@ class HpxRuntime:
     """Facade: spawn tasks, drive the engine, expose counter sources."""
 
     name = "hpx"
+    # User-level tasks never exhaust a kernel resource budget; the
+    # attributes exist so both backends share one result-handling path.
+    aborted = False
+    abort_reason: str | None = None
 
     def __init__(
         self,
@@ -138,18 +115,10 @@ class HpxRuntime:
         self._cleanup_ns = p.cleanup_ns
         self._lifo = p.local_queue_discipline == "lifo"
         self._stack0_ns = p.stack_alloc_ns(0)  # default-stack allocation cost
-        # Effect dispatch table, keyed on the effect's exact class (the
-        # effects are final frozen dataclasses): replaces an isinstance
-        # chain on the hottest path of the interpreter.
-        self._handlers: dict[type, Callable[[_Worker, Task, Any], None]] = {
-            Compute: self._do_compute,
-            Spawn: self._do_spawn,
-            Await: self._do_await,
-            AwaitAll: self._do_await_all,
-            Lock: self._do_lock,
-            Unlock: self._do_unlock,
-            YieldNow: self._do_yield,
-        }
+        # The shared effect interpreter drives every task body; its step
+        # function is what we schedule wherever a task resumes.
+        self._interp = EffectInterpreter(self)
+        self._step = self._interp.step
         self.topology = Topology(machine.spec)
         cores = self.topology.binding_smt(num_workers, smt, bind_mode)
         self.workers = [
@@ -160,7 +129,10 @@ class HpxRuntime:
         # physical core (two sharing a core each run slower).
         self._core_compute_count: dict[int, int] = {}
         self._build_victim_orders()
-        self.stats = ThreadManagerStats()
+        # Publish the accounting probes on the bus; keep direct
+        # references for the hot-path increments.
+        self.probes = ProbeBus(SchedulerProbe(), [w.stats for w in self.workers])
+        self.stats = self.probes.total
         # Coherence-channel state (see HpxParams.qpi_*_hold_ns).
         self._spans_sockets = len({w.socket for w in self.workers}) > 1
         self._qpi_free_at = 0
@@ -173,12 +145,7 @@ class HpxRuntime:
         # Worker currently fulfilling a future; resumed waiters are pushed
         # to its queue (they were made runnable by that worker).
         self._fulfil_worker: _Worker | None = None
-        self.trace: Callable[[int, str, Task, int | None], None] | None = None
         self._live_tasks: dict[int, Task] = {}
-        # Per-task-activation instrumentation cost added while performance
-        # counters are active (timestamping / PAPI reads in the scheduler
-        # hot path) — the source of the paper's counter-collection overhead.
-        self.instrument_ns = 0
 
     # ------------------------------------------------------------------
     # public API
@@ -209,7 +176,21 @@ class HpxRuntime:
     def add_instrumentation(self, delta_ns: int) -> None:
         """Register (positive) or remove (negative) per-activation
         instrumentation cost; called by counter ``start``/``stop``."""
-        self.instrument_ns = max(0, self.instrument_ns + delta_ns)
+        self.probes.add_instrumentation(delta_ns)
+
+    @property
+    def instrument_ns(self) -> int:
+        """Per-activation instrumentation charge (lives on the probe bus)."""
+        return self.probes.instrument_ns
+
+    @property
+    def trace(self) -> Callable[[int, str, Task, int | None], None] | None:
+        """The task life-cycle trace hook (lives on the probe bus)."""
+        return self.probes.trace
+
+    @trace.setter
+    def trace(self, hook: Callable[[int, str, Task, int | None], None] | None) -> None:
+        self.probes.trace = hook
 
     def create_mutex(self) -> Mutex:
         mutex = Mutex(self._next_mid)
@@ -237,16 +218,17 @@ class HpxRuntime:
 
     def describe_stall(self) -> str:
         stuck = [t for t in self._live_tasks.values() if t.state is not TaskState.TERMINATED]
-        lines = [f"deadlock: {len(stuck)} unfinished tasks at t={self.engine.now}ns"]
-        for task in stuck[:10]:
-            lines.append(f"  task {task.tid} {task.description} state={task.state.value}")
-        return "\n".join(lines)
+        return format_stall(stuck, now_ns=self.engine.now)
 
     # -- counter sources --------------------------------------------------
 
     def queue_length(self) -> int:
         """Instantaneous number of staged (runnable, unpicked) tasks."""
         return sum(len(w.queue) for w in self.workers)
+
+    def worker_queue_length(self, index: int) -> int:
+        """Staged tasks in one worker's own queue."""
+        return len(self.workers[index].queue)
 
     def idle_rate(self, worker_index: int | None = None) -> float:
         """Fraction of wall time not spent busy, in [0, 1]."""
@@ -322,6 +304,18 @@ class HpxRuntime:
         """Mark *task* suspended (waiting on a future or mutex)."""
         task.state = TaskState.SUSPENDED
         self.stats.suspended_tasks += 1
+
+    # -- accounting: charge *ns* to a task's exec or overhead time ---------
+
+    def _charge_exec(self, w: _Worker, task: Task, ns: int) -> None:
+        task.exec_ns += ns
+        w.stats.exec_ns += ns
+        w.stats.busy_ns += ns
+
+    def _charge_overhead(self, w: _Worker, task: Task, ns: int) -> None:
+        task.overhead_ns += ns
+        w.stats.overhead_ns += ns
+        w.stats.busy_ns += ns
 
     def _qpi_delay(self, w: _Worker) -> int:
         """Serialize one scheduler op on the cross-socket coherence
@@ -408,9 +402,7 @@ class HpxRuntime:
         task.state = TaskState.ACTIVE
         task.phases += 1
         self.stats.phases += 1
-        task.overhead_ns += overhead
-        w.stats.overhead_ns += overhead
-        w.stats.busy_ns += overhead
+        self._charge_overhead(w, task, overhead)
         w.current = task
         if self.trace:
             self.trace(self.engine.now, "activate", task, w.index)
@@ -425,40 +417,16 @@ class HpxRuntime:
         self._worker_scan(w)
 
     # ------------------------------------------------------------------
-    # the effect interpreter
+    # SchedulerBackend: effect handlers (the interpreter dispatches here)
     # ------------------------------------------------------------------
 
-    def _step(self, w: _Worker, task: Task, send_value: Any) -> None:
-        gen = task.gen
-        if gen is None:  # first activation: bind the body to its context
-            gen = task.bind(TaskContext(self, task))
-        try:
-            if send_value.__class__ is ThrowValue:
-                effect = gen.throw(send_value.exc)
-            else:
-                effect = gen.send(send_value)
-        except StopIteration as stop:
-            self._complete(w, task, stop.value)
-            return
-        except Exception as exc:  # body raised: propagate through the future
-            self._fail(w, task, exc)
-            return
-        handler = self._handlers.get(effect.__class__)
-        if handler is None:
-            self._fail(w, task, TypeError(f"task yielded non-effect {effect!r}"))
-            return
-        handler(w, task, effect)
-
-    def _dispatch(self, w: _Worker, task: Task, effect: Any) -> None:
-        handler = self._handlers.get(effect.__class__)
-        if handler is None:
-            self._fail(w, task, TypeError(f"task yielded non-effect {effect!r}"))
-            return
-        handler(w, task, effect)
+    def begin_step(self, w: _Worker, task: Task) -> bool:
+        """Interpreter gate: user-level tasks always step."""
+        return True
 
     # -- compute -----------------------------------------------------------
 
-    def _do_compute(self, w: _Worker, task: Task, effect: Compute) -> None:
+    def do_compute(self, w: _Worker, task: Task, effect: Compute) -> None:
         work = effect.work
         if self.locality_traffic_factor != 1.0:
             work = work.scaled(self.locality_traffic_factor)
@@ -474,9 +442,7 @@ class HpxRuntime:
             w.core_index, work, cross_socket_fraction=cross, speed_factor=speed
         )
         duration = ticket.duration_ns
-        task.exec_ns += duration
-        w.stats.exec_ns += duration
-        w.stats.busy_ns += duration
+        self._charge_exec(w, task, duration)
         self.engine.call_later(duration, self._finish_compute, w, task, ticket, work)
 
     def _finish_compute(self, w: _Worker, task: Task, ticket: Any, work: Work) -> None:
@@ -486,7 +452,7 @@ class HpxRuntime:
 
     # -- spawn -------------------------------------------------------------
 
-    def _do_spawn(self, w: _Worker, task: Task, effect: Spawn) -> None:
+    def do_spawn(self, w: _Worker, task: Task, effect: Spawn) -> None:
         policy = _POLICY_BY_NAME.get(effect.policy)
         if policy is None:
             policy = LaunchPolicy.parse(effect.policy)
@@ -514,15 +480,11 @@ class HpxRuntime:
             self._kick_for_work(w)
         elif policy is _SYNC:
             # Execute inline: chain the child now, resume parent on return.
-            task.exec_ns += cost
-            w.stats.exec_ns += cost
-            w.stats.busy_ns += cost
+            self._charge_exec(w, task, cost)
             self._run_inline(w, task, child)
             return
         # DEFERRED: not staged; runs at first wait on its future.
-        task.exec_ns += cost
-        w.stats.exec_ns += cost
-        w.stats.busy_ns += cost
+        self._charge_exec(w, task, cost)
         self.engine.call_later(cost, self._step, w, task, child.future)
 
     def _run_inline(self, w: _Worker, parent: Task, child: Task) -> None:
@@ -537,15 +499,12 @@ class HpxRuntime:
 
     # -- waiting -------------------------------------------------------------
 
-    def _do_await(self, w: _Worker, task: Task, effect: Await) -> None:
+    def do_await(self, w: _Worker, task: Task, effect: Await) -> None:
         future = effect.future
         if future.is_ready:
             cost = self._future_get_ready_ns
-            task.exec_ns += cost
-            w.stats.exec_ns += cost
-            w.stats.busy_ns += cost
-            if self.trace is not None:
-                self._trace_dependency(task, (future,))
+            self._charge_exec(w, task, cost)
+            self.probes.emit_dependencies(self.engine.now, task, (future,))
             payload = resume_payload(future)
             self.engine.call_later(cost, self._step, w, task, payload)
             return
@@ -561,16 +520,14 @@ class HpxRuntime:
             self._activate(w, producer, 0)
             return
         cost = self._suspend_ns
-        task.overhead_ns += cost
-        w.stats.overhead_ns += cost
-        w.stats.busy_ns += cost
+        self._charge_overhead(w, task, cost)
         self._suspend(task)
         if self.trace:
             self.trace(self.engine.now, "suspend", task, w.index)
         future.on_ready(lambda fut: self._resume_task(task, fut))
         self.engine.call_later(cost, self._after_task, w)
 
-    def _do_await_all(self, w: _Worker, task: Task, effect: AwaitAll) -> None:
+    def do_await_all(self, w: _Worker, task: Task, effect: AwaitAll) -> None:
         futures = effect.futures
         pending = [f for f in futures if not f.is_ready]
         # Run deferred producers inline, one by one, by rewriting the wait
@@ -585,18 +542,13 @@ class HpxRuntime:
                 return
         if not pending:
             cost = self._future_get_ready_ns
-            task.exec_ns += cost
-            w.stats.exec_ns += cost
-            w.stats.busy_ns += cost
-            if self.trace is not None:
-                self._trace_dependency(task, futures)
+            self._charge_exec(w, task, cost)
+            self.probes.emit_dependencies(self.engine.now, task, futures)
             payload = resume_payload_all(futures)
             self.engine.call_later(cost, self._step, w, task, payload)
             return
         cost = self._suspend_ns
-        task.overhead_ns += cost
-        w.stats.overhead_ns += cost
-        w.stats.busy_ns += cost
+        self._charge_overhead(w, task, cost)
         self._suspend(task)
         remaining = {"count": len(pending)}
 
@@ -617,43 +569,35 @@ class HpxRuntime:
             self.stats.suspended_tasks -= 1
         task.state = TaskState.ACTIVE
         # Dispatch directly: the task is still positioned at its AwaitAll.
-        self._do_await_all(worker, task, AwaitAll(futures=futures))
+        self.do_await_all(worker, task, AwaitAll(futures=futures))
 
     # -- mutexes ---------------------------------------------------------------
 
-    def _do_lock(self, w: _Worker, task: Task, effect: Lock) -> None:
+    def do_lock(self, w: _Worker, task: Task, effect: Lock) -> None:
         mutex = effect.mutex
         if mutex.try_acquire(task):
             cost = self._mutex_ns
-            task.exec_ns += cost
-            w.stats.exec_ns += cost
-            w.stats.busy_ns += cost
+            self._charge_exec(w, task, cost)
             self.engine.call_later(cost, self._step, w, task, None)
             return
         cost = self._suspend_ns
-        task.overhead_ns += cost
-        w.stats.overhead_ns += cost
-        w.stats.busy_ns += cost
+        self._charge_overhead(w, task, cost)
         self._suspend(task)
         mutex.enqueue_waiter(task)
         self.engine.call_later(cost, self._after_task, w)
 
-    def _do_unlock(self, w: _Worker, task: Task, effect: Unlock) -> None:
+    def do_unlock(self, w: _Worker, task: Task, effect: Unlock) -> None:
         next_owner = effect.mutex.release(task)
         cost = self._mutex_ns
-        task.exec_ns += cost
-        w.stats.exec_ns += cost
-        w.stats.busy_ns += cost
+        self._charge_exec(w, task, cost)
         if next_owner is not None:
             # The waiter now owns the mutex; make it runnable here.
             self._push_resumed(w, next_owner, None)
         self.engine.call_later(cost, self._step, w, task, None)
 
-    def _do_yield(self, w: _Worker, task: Task, effect: YieldNow) -> None:
+    def do_yield(self, w: _Worker, task: Task, effect: YieldNow) -> None:
         cost = self._context_switch_ns
-        task.overhead_ns += cost
-        w.stats.overhead_ns += cost
-        w.stats.busy_ns += cost
+        self._charge_overhead(w, task, cost)
         task.state = TaskState.PENDING
         task.pending_send = None
         task.staged_at = self.engine.now
@@ -662,11 +606,9 @@ class HpxRuntime:
 
     # -- completion and resumption ------------------------------------------------
 
-    def _complete(self, w: _Worker, task: Task, value: Any) -> None:
+    def complete(self, w: _Worker, task: Task, value: Any) -> None:
         cost = self._cleanup_ns
-        task.overhead_ns += cost
-        w.stats.overhead_ns += cost
-        w.stats.busy_ns += cost
+        self._charge_overhead(w, task, cost)
         task.state = TaskState.TERMINATED
         w.stats.tasks_executed += 1
         self.stats.tasks_executed += 1
@@ -684,7 +626,7 @@ class HpxRuntime:
             self._fulfil_worker = prev
         self.engine.call_later(cost, self._after_task, w)
 
-    def _fail(self, w: _Worker, task: Task, exc: BaseException) -> None:
+    def fail(self, w: _Worker, task: Task, exc: BaseException) -> None:
         task.state = TaskState.TERMINATED
         w.stats.tasks_executed += 1
         self.stats.tasks_executed += 1
@@ -706,29 +648,14 @@ class HpxRuntime:
         if cls is _SendRaw:
             send_value = send_value.value
         elif cls is SimFuture or isinstance(send_value, SimFuture):
-            if self.trace is not None:
-                self._trace_dependency(task, (send_value,))
+            self.probes.emit_dependencies(self.engine.now, task, (send_value,))
             send_value = resume_payload(send_value)
         elif cls is _AwaitAllDone:
-            if self.trace is not None:
-                self._trace_dependency(task, send_value.futures)
+            self.probes.emit_dependencies(self.engine.now, task, send_value.futures)
             send_value = resume_payload_all(send_value.futures)
         task.pending_send = send_value
         worker = self._fulfil_worker or self.workers[0]
         self._push_resumed(worker, task, None)
-
-    def _trace_dependency(self, waiter: Task, futures: tuple) -> None:
-        """Emit join edges (producer -> waiter) to the trace hook.
-
-        The 4th hook argument carries the *producer tid* for "depend"
-        events (it is the worker index for the life-cycle events).
-        """
-        if self.trace is None:
-            return
-        for fut in futures:
-            producer = getattr(fut, "producer_task", None)
-            if isinstance(producer, Task):
-                self.trace(self.engine.now, "depend", waiter, producer.tid)
 
     def _push_resumed(self, worker: _Worker, task: Task, _unused: Any) -> None:
         if task.state is TaskState.SUSPENDED:

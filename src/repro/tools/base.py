@@ -112,7 +112,7 @@ class InstrumentedStdRuntime(StdRuntime):
         thread = super()._make_thread(*args, **kwargs)
         return thread
 
-    def _do_spawn(self, core: Any, thread: Any, effect: Any) -> None:
+    def do_spawn(self, core: Any, thread: Any, effect: Any) -> None:
         # The tool's serialized per-thread setup happens inside the
         # creating thread, before std::async returns.
         delay = self._tool_serial_delay()
@@ -124,7 +124,7 @@ class InstrumentedStdRuntime(StdRuntime):
         if self.aborted:
             return
         try:
-            super()._do_spawn(core, thread, effect)
+            super().do_spawn(core, thread, effect)
         except ToolCrash:
             pass  # abort flag already set; the engine stops
 

@@ -66,10 +66,13 @@ def test_scales_to_no_scaling():
     assert curve.scales_to() == "no scaling"
 
 
-def test_std_curve_has_no_counters():
+def test_std_curve_collects_counters_too():
+    """Counters read the probe bus, so std curves carry them as well."""
     config = ExperimentConfig(samples=1, core_counts=(1,))
     curve = run_strong_scaling("fib", "std", params=SMALL_FIB, config=config)
-    assert curve.points[0].counters == {}
+    counters = curve.points[0].counters
+    assert counters["/threads{locality#0/total}/count/cumulative"] > 0
+    assert "/threads{locality#0/total}/time/average" in counters
 
 
 def test_collect_counters_false():
@@ -81,13 +84,11 @@ def test_collect_counters_false():
 
 
 def test_runner_periodic_query_samples():
-    from repro.experiments.runner import run_benchmark
+    from repro.api import Session
     from repro.simcore.clock import us
 
-    result = run_benchmark(
+    result = Session(runtime="hpx", cores=2).run(
         "fib",
-        runtime="hpx",
-        cores=2,
         params={"n": 13},
         query_interval_ns=us(100),
     )
@@ -98,12 +99,11 @@ def test_runner_periodic_query_samples():
 
 
 def test_runner_query_requires_counters():
-    from repro.experiments.runner import run_benchmark
+    from repro.api import Session
 
     with pytest.raises(ValueError, match="collect_counters"):
-        run_benchmark(
+        Session(runtime="hpx").run(
             "fib",
-            runtime="hpx",
             params={"n": 8},
             collect_counters=False,
             query_interval_ns=1000,

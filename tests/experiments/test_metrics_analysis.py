@@ -2,16 +2,16 @@
 
 import pytest
 
+from repro.api import Session
 from repro.experiments import metrics
 from repro.experiments.analysis import analyze, karp_flatt, knee, parallel_efficiency
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.harness import ScalingCurve, ScalingPoint, run_strong_scaling
-from repro.experiments.runner import run_benchmark
 
 
 @pytest.fixture(scope="module")
 def fib_run():
-    return run_benchmark("fib", runtime="hpx", cores=2, params={"n": 13})
+    return Session(runtime="hpx", cores=2).run("fib", params={"n": 13})
 
 
 def test_task_duration_and_overhead(fib_run):
@@ -43,9 +43,9 @@ def test_bandwidth(fib_run):
 
 
 def test_metrics_validation(fib_run):
-    std = run_benchmark("fib", runtime="std", cores=2, params={"n": 10})
+    bare = Session(runtime="std", cores=2).run("fib", params={"n": 10}, collect_counters=False)
     with pytest.raises(ValueError, match="counters"):
-        metrics.task_duration_us(std)
+        metrics.task_duration_us(bare)
     with pytest.raises(ValueError, match="cores"):
         metrics.task_time_per_core_ms(fib_run, 0)
 

@@ -1,7 +1,11 @@
 """Per-benchmark structural details beyond end-to-end verification."""
 
-from repro.experiments.runner import run_benchmark
+from repro.api import Session
 from repro.inncabs.fib import FibBenchmark
+
+
+def run_hpx(name, *, cores=2, params=None, keep_result=False):
+    return Session(runtime="hpx", cores=cores).run(name, params=params, keep_result=keep_result)
 
 
 def test_fib_task_count_formula():
@@ -12,36 +16,31 @@ def test_fib_task_count_formula():
 
 
 def test_fib_run_matches_task_count():
-    result = run_benchmark("fib", runtime="hpx", cores=2, params={"n": 12})
+    result = run_hpx("fib", params={"n": 12})
     # fib's root task is the tree root itself (no separate driver).
     assert result.tasks_executed == FibBenchmark.task_count(12)
 
 
 def test_alignment_pair_task_count():
-    result = run_benchmark("alignment", runtime="hpx", cores=2, params={"nseq": 6, "seqlen": 40})
+    result = run_hpx("alignment", params={"nseq": 6, "seqlen": 40})
     # C(6,2)=15 pair tasks + the root.
     assert result.tasks_executed == 16
 
 
 def test_round_has_exactly_paper_task_count():
     """Table I: round runs 512 tasks."""
-    result = run_benchmark("round", runtime="hpx", cores=2)
+    result = run_hpx("round")
     assert result.tasks_executed == 513  # 512 + root
 
 
 def test_intersim_task_count():
-    result = run_benchmark(
-        "intersim",
-        runtime="hpx",
-        cores=2,
-        params={"rounds": 3, "tasks_per_round": 10, "interchanges": 4},
-    )
+    result = run_hpx("intersim", params={"rounds": 3, "tasks_per_round": 10, "interchanges": 4})
     assert result.tasks_executed == 31  # 30 + root
 
 
 def test_floorplan_task_limit_caps_spawning():
-    limited = run_benchmark("floorplan", runtime="hpx", cores=2, params={"task_limit": 10})
-    unlimited = run_benchmark("floorplan", runtime="hpx", cores=2)
+    limited = run_hpx("floorplan", params={"task_limit": 10})
+    unlimited = run_hpx("floorplan")
     assert limited.verified and unlimited.verified  # same optimum either way
     assert limited.tasks_created < unlimited.tasks_created
 
@@ -51,8 +50,8 @@ def test_floorplan_parallel_explores_at_least_sequential_frontier():
     many nodes branch-and-bound explores (HPX's ordering explored 100x
     more).  Node counts may differ across core counts; the optimum may
     not."""
-    r1 = run_benchmark("floorplan", runtime="hpx", cores=1, keep_result=True)
-    r8 = run_benchmark("floorplan", runtime="hpx", cores=8, keep_result=True)
+    r1 = run_hpx("floorplan", cores=1, keep_result=True)
+    r8 = run_hpx("floorplan", cores=8, keep_result=True)
     area1, nodes1 = r1.result
     area8, nodes8 = r8.result
     assert area1 == area8  # optimum is order-independent
@@ -60,49 +59,42 @@ def test_floorplan_parallel_explores_at_least_sequential_frontier():
 
 
 def test_sort_cutoff_controls_task_count():
-    small = run_benchmark("sort", runtime="hpx", cores=2, params={"n": 1 << 14, "cutoff": 1 << 12})
-    fine = run_benchmark("sort", runtime="hpx", cores=2, params={"n": 1 << 14, "cutoff": 1 << 10})
+    small = run_hpx("sort", params={"n": 1 << 14, "cutoff": 1 << 12})
+    fine = run_hpx("sort", params={"n": 1 << 14, "cutoff": 1 << 10})
     assert fine.tasks_executed > 2 * small.tasks_executed
     assert small.verified and fine.verified
 
 
 def test_strassen_task_count_seven_way():
-    result = run_benchmark("strassen", runtime="hpx", cores=2, params={"n": 128, "cutoff": 32})
+    result = run_hpx("strassen", params={"n": 128, "cutoff": 32})
     # Depth-2 recursion: 1 + 7 + 49 strassen tasks + root driver.
     assert result.tasks_executed == 1 + 7 + 49 + 1
 
 
 def test_uts_tree_size_equals_tasks():
-    result = run_benchmark(
-        "uts",
-        runtime="hpx",
-        cores=2,
-        params={"b0": 15, "m": 3, "q": 0.3, "max_depth": 8},
-        keep_result=True,
+    result = run_hpx(
+        "uts", params={"b0": 15, "m": 3, "q": 0.3, "max_depth": 8}, keep_result=True
     )
     assert result.result == result.tasks_executed  # one task per node
 
 
 def test_health_task_count():
-    result = run_benchmark(
-        "health", runtime="hpx", cores=2, params={"levels": 3, "branching": 2, "steps": 5}
-    )
+    result = run_hpx("health", params={"levels": 3, "branching": 2, "steps": 5})
     # 7 villages x 5 steps + root.
     assert result.tasks_executed == 36
 
 
 def test_qap_smaller_cutoff_fewer_tasks():
-    shallow = run_benchmark("qap", runtime="hpx", cores=2, params={"n": 7, "cutoff": 2})
-    deep = run_benchmark("qap", runtime="hpx", cores=2, params={"n": 7, "cutoff": 4})
+    shallow = run_hpx("qap", params={"n": 7, "cutoff": 2})
+    deep = run_hpx("qap", params={"n": 7, "cutoff": 4})
     assert shallow.tasks_created < deep.tasks_created
     assert shallow.verified and deep.verified
 
 
 def test_pyramids_chunking_preserves_result():
     for chunk in (4, 16):
-        result = run_benchmark(
+        result = run_hpx(
             "pyramids",
-            runtime="hpx",
             cores=3,
             params={"width": 2048, "steps": 32, "chunk": chunk, "block": 512},
         )
@@ -111,12 +103,12 @@ def test_pyramids_chunking_preserves_result():
 
 def test_fft_power_of_two_sizes():
     for n in (64, 256):
-        result = run_benchmark("fft", runtime="hpx", cores=2, params={"n": n, "cutoff": 4})
+        result = run_hpx("fft", params={"n": n, "cutoff": 4})
         assert result.verified
 
 
 def test_seed_changes_results_not_correctness():
-    a = run_benchmark("sort", runtime="hpx", cores=2, params={"n": 4096, "cutoff": 512, "seed": 1})
-    b = run_benchmark("sort", runtime="hpx", cores=2, params={"n": 4096, "cutoff": 512, "seed": 2})
+    a = run_hpx("sort", params={"n": 4096, "cutoff": 512, "seed": 1})
+    b = run_hpx("sort", params={"n": 4096, "cutoff": 512, "seed": 2})
     assert a.verified and b.verified
     assert a.exec_time_ns != b.exec_time_ns  # different data, different merges

@@ -1,0 +1,59 @@
+"""Golden equivalence: reference runs are bit-identical to fixtures.
+
+Each committed fixture (``tests/fixtures/*.stream.json.gz``) holds the
+complete event transcript of one reference run — every scheduled delay,
+grouped by the dispatching event — plus the run's observable results.
+Re-running the workload must reproduce the transcript exactly, on both
+scheduler backends: any change to effect interpretation, cost
+accounting, or event ordering shows up as a diff here.
+
+Regenerate intentionally with
+``PYTHONPATH=src python tests/fixtures/generate_golden.py``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from tests.fixtures.generate_golden import GOLDEN_RUNS, record_run
+
+from repro.simcore.record import load_stream
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+#: Observable results that must match besides the transcript.
+SUMMARY_FIELDS = (
+    "exec_time_ns",
+    "engine_events",
+    "tasks_created",
+    "tasks_executed",
+    "peak_live_tasks",
+    "verified",
+)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_RUNS))
+def test_reference_run_matches_committed_stream(name):
+    fixture = load_stream(FIXTURES / f"{name}.stream.json.gz")
+    recorder, meta = record_run(name)
+
+    for field in SUMMARY_FIELDS:
+        assert meta[field] == fixture[field], (
+            f"{name}: {field} changed: {meta[field]} != {fixture[field]}"
+        )
+    # Counter values must match exactly (no float drift: the simulation
+    # is integer-timed and counter arithmetic is deterministic).
+    assert meta["counters"] == fixture["counters"]
+
+    # The transcript itself: bit-identical scheduling behaviour.
+    assert len(recorder.groups) == len(fixture["groups"]), (
+        f"{name}: scheduled-event count changed"
+    )
+    assert recorder.groups == fixture["groups"], f"{name}: event grouping diverged"
+    assert recorder.delays == fixture["delays"], f"{name}: scheduled delays diverged"
+
+
+def test_fixture_inventory_matches_golden_runs():
+    """Every golden run has a fixture and vice versa."""
+    on_disk = {p.name.split(".")[0] for p in FIXTURES.glob("*.stream.json.gz")}
+    assert on_disk == set(GOLDEN_RUNS)

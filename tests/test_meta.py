@@ -14,7 +14,8 @@ def test_version_consistent_with_pyproject():
 
 
 def test_public_api_surface():
-    assert callable(repro.run_benchmark)
+    assert callable(repro.Session)
+    assert not hasattr(repro, "run_benchmark")  # the deprecated shim is gone
     assert len(repro.available_benchmarks()) == 14
     assert repro.get_benchmark("fib").info.paper_task_duration_us == 1.37
 
