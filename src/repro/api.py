@@ -36,6 +36,8 @@ from repro.inncabs.suite import get_benchmark
 from repro.kernel.config import StdParams
 from repro.kernel.scheduler import StdRuntime
 from repro.papi.hw import PapiSubstrate
+from repro.platform.presets import resolve_platform
+from repro.platform.spec import PlatformSpec
 from repro.runtime.config import HpxParams
 from repro.runtime.scheduler import HpxRuntime
 from repro.simcore.events import Engine
@@ -58,14 +60,20 @@ class Session:
         (alias ``"kernel"``) for the ``std::async`` kernel-thread model.
     cores:
         Default worker/core count for :meth:`run` (overridable per run).
+    platform:
+        The simulated node: a preset name (``"epyc-2x64"``), a path to
+        a platform file (``.toml``/``.json``), a
+        :class:`~repro.platform.spec.PlatformSpec`, or a legacy
+        :class:`MachineSpec`.  Defaults to the paper's Table III node
+        (``"ivybridge-2x10"``).
     machine:
-        :class:`MachineSpec` of the simulated node; defaults to the
-        paper's Table III platform.
+        Legacy alias for ``platform`` (a :class:`MachineSpec`); they
+        are mutually exclusive.
     hpx_params / std_params:
         Runtime cost models; default to the calibrated paper values.
     config:
         A full :class:`ExperimentConfig` to start from instead of the
-        defaults; ``machine``/``hpx_params``/``std_params`` still
+        defaults; ``platform``/``hpx_params``/``std_params`` still
         override its fields when given.
     engine_factory:
         Zero-argument callable building the discrete-event engine for
@@ -79,6 +87,7 @@ class Session:
         *,
         runtime: str = "hpx",
         cores: int = 1,
+        platform: PlatformSpec | MachineSpec | str | None = None,
         machine: MachineSpec | None = None,
         hpx_params: HpxParams | None = None,
         std_params: StdParams | None = None,
@@ -91,12 +100,16 @@ class Session:
             raise ValueError(f"unknown runtime {runtime!r}; expected one of {expected}")
         if cores < 1:
             raise ValueError(f"cores must be >= 1, got {cores}")
+        if platform is not None and machine is not None:
+            raise ValueError("pass either platform= or machine=, not both")
         self.runtime = canonical
         self.cores = cores
         base = config or ExperimentConfig()
         overrides: dict[str, Any] = {}
-        if machine is not None:
-            overrides["machine"] = machine
+        if platform is not None:
+            overrides["platform"] = resolve_platform(platform)
+        elif machine is not None:
+            overrides["platform"] = machine.to_platform()
         if hpx_params is not None:
             overrides["hpx"] = hpx_params
         if std_params is not None:
@@ -138,7 +151,7 @@ class Session:
         root_fn, root_args = bench.make_root(merged)
 
         engine = self.engine_factory()
-        machine = Machine(config.machine)
+        machine = Machine(config.platform)
         out = RunResult(benchmark=benchmark, runtime=self.runtime, cores=ncores)
 
         rt: Any

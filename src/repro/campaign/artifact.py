@@ -102,7 +102,7 @@ def collect_environment(spec: CampaignSpec) -> dict[str, Any]:
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),
-        "machine_spec": spec.machine.name,
+        "machine_spec": spec.platform.name,
     }
 
 

@@ -50,9 +50,7 @@ def execute_cell(spec: CampaignSpec, cell: Cell) -> dict[str, Any]:
     """Run one cell to completion; the process-pool worker entry point."""
     from repro.api import Session
 
-    session = Session(
-        runtime=cell.runtime, cores=cell.cores, config=spec.experiment_config(cell)
-    )
+    session = Session(runtime=cell.runtime, cores=cell.cores, config=spec.experiment_config(cell))
     result = session.run(
         cell.benchmark,
         params=spec.cell_params(cell),

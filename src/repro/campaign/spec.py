@@ -27,11 +27,13 @@ from typing import Any, Iterator, Mapping, Sequence
 from repro._version import __version__
 from repro.experiments.config import DEFAULT_SAMPLES, QUICK_CORE_COUNTS, ExperimentConfig
 from repro.kernel.config import StdParams
+from repro.platform.presets import default_platform
+from repro.platform.spec import PlatformSpec
 from repro.runtime.config import HpxParams
 from repro.simcore.machine import MachineSpec
 
 #: Bump to invalidate every cached cell (cache layout / semantics change).
-CACHE_KEY_VERSION = 2  # v2: std cells honor the counter configuration
+CACHE_KEY_VERSION = 3  # v3: the platform spec is part of every key
 
 RUNTIMES = ("hpx", "std")
 
@@ -72,13 +74,15 @@ class CampaignSpec:
     preset: str = "default"
     #: Extra benchmark parameters overlaid on the preset, for every benchmark.
     params: Mapping[str, Any] = field(default_factory=dict)
-    machine: MachineSpec = field(default_factory=MachineSpec)
+    platform: PlatformSpec = field(default_factory=default_platform)
     hpx: HpxParams = field(default_factory=HpxParams)
     std: StdParams | None = None  # None: the scaled-budget default
     collect_counters: bool = True
     counter_specs: tuple[str, ...] | None = None  # None: the paper's set
 
     def __post_init__(self) -> None:
+        if isinstance(self.platform, MachineSpec):
+            object.__setattr__(self, "platform", self.platform.to_platform())
         if self.std is None:
             from repro.experiments.config import default_std_params
 
@@ -88,6 +92,11 @@ class CampaignSpec:
                 raise ValueError(f"unknown runtime {runtime!r}; expected one of {RUNTIMES}")
         if self.samples < 1:
             raise ValueError("samples must be >= 1")
+
+    @property
+    def machine(self) -> PlatformSpec:
+        """Legacy alias for :attr:`platform`."""
+        return self.platform
 
     @classmethod
     def from_config(
@@ -112,7 +121,7 @@ class CampaignSpec:
             seed=config.seed,
             preset=preset,
             params=dict(params or {}),
-            machine=config.machine,
+            platform=config.platform,
             hpx=config.hpx,
             std=config.std,
             collect_counters=collect_counters,
@@ -123,7 +132,7 @@ class CampaignSpec:
         """The single-run :class:`ExperimentConfig` behind *cell*."""
         assert self.std is not None
         return ExperimentConfig(
-            machine=self.machine,
+            platform=self.platform,
             hpx=self.hpx,
             std=self.std,
             samples=1,
@@ -169,7 +178,7 @@ class CampaignSpec:
             "seed": self.seed,
             "preset": self.preset,
             "params": dict(self.params),
-            "machine": asdict(self.machine),
+            "platform": self.platform.to_json_dict(),
             "hpx": asdict(self.hpx),
             "std": asdict(self.std),
             "collect_counters": self.collect_counters,
@@ -178,6 +187,10 @@ class CampaignSpec:
 
     @classmethod
     def from_json_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        if "platform" in data:
+            platform = PlatformSpec.from_json_dict(data["platform"])
+        else:  # pre-platform artifacts carry a flat MachineSpec dict
+            platform = MachineSpec(**data["machine"]).to_platform()
         return cls(
             benchmarks=tuple(data["benchmarks"]),
             runtimes=tuple(data["runtimes"]),
@@ -186,7 +199,7 @@ class CampaignSpec:
             seed=data["seed"],
             preset=data["preset"],
             params=dict(data["params"]),
-            machine=MachineSpec(**data["machine"]),
+            platform=platform,
             hpx=HpxParams(**data["hpx"]),
             std=StdParams(**data["std"]),
             collect_counters=data["collect_counters"],
@@ -204,7 +217,8 @@ def cell_cache_key(spec: CampaignSpec, cell: Cell) -> str:
     """Content-addressed cache key for one cell.
 
     Includes every input that determines the cell's result: the
-    resolved benchmark parameters, the machine model, the cost model of
+    resolved benchmark parameters, the full platform spec (two cells
+    differing only in platform hash differently), the cost model of
     the *cell's own* runtime (an ``hpx`` cell is not invalidated by a
     ``std::async`` recalibration and vice versa), the counter
     configuration (counters instrument both runtimes), the package
@@ -219,7 +233,7 @@ def cell_cache_key(spec: CampaignSpec, cell: Cell) -> str:
         "cores": cell.cores,
         "seed": cell.seed,
         "params": spec.cell_params(cell),
-        "machine": asdict(spec.machine),
+        "platform": spec.platform.to_json_dict(),
         "collect_counters": spec.collect_counters,
         "counter_specs": list(spec.counter_specs) if spec.counter_specs else None,
     }

@@ -101,6 +101,43 @@ def cmd_list_counters(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_platform_list(_args: argparse.Namespace) -> int:
+    from repro.platform import DEFAULT_PLATFORM, get_platform, platform_names
+
+    for name in platform_names():
+        spec = get_platform(name)
+        marker = "*" if name == DEFAULT_PLATFORM else " "
+        shape = "+".join(str(sock.cores) for sock in spec.sockets)
+        freqs = sorted({sock.freq_ghz for sock in spec.sockets})
+        freq = "/".join(f"{f:g}" for f in freqs)
+        print(
+            f"{marker} {name:16s} {spec.num_sockets} socket(s) x [{shape}] cores "
+            f"@ {freq} GHz, {spec.ram_bytes / 1024**3:.0f} GiB"
+        )
+    print("\n(* = default; any entry works with --platform, as does a .toml/.json file)")
+    return 0
+
+
+def cmd_platform_show(args: argparse.Namespace) -> int:
+    from repro.platform import PlatformError, resolve_platform
+    from repro.simcore.topology import Topology
+
+    try:
+        spec = resolve_platform(args.name)
+    except (PlatformError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(spec.describe())
+    topology = Topology(spec)
+    print("\ntopology:")
+    print(f"machine ({spec.ram_bytes / 1024**3:.0f} GiB RAM)")
+    for s, sock in enumerate(spec.sockets):
+        print(f"  socket#{s} ({sock.cores} cores, L3 {sock.l3_bytes / 1024**2:.0f} MB)")
+        for core in spec.core_range(s):
+            print(f"    {topology.describe_core(core)}  (global core#{core})")
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     from repro.inncabs.presets import preset_params
 
@@ -118,7 +155,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         def sink(rows, _dest=destination):
             print(format_counter_values(rows), file=_dest)
     try:
-        session = Session(runtime=args.runtime, cores=args.cores)
+        session = Session(runtime=args.runtime, cores=args.cores, platform=args.platform)
         result = session.run(
             args.benchmark,
             params=params,
@@ -177,6 +214,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     from repro.campaign.engine import run_campaign
     from repro.campaign.spec import CampaignSpec
     from repro.experiments.config import QUICK_CORE_COUNTS
+    from repro.platform import resolve_platform
 
     core_counts = args.cores_list if args.cores_list else QUICK_CORE_COUNTS
     spec = CampaignSpec(
@@ -187,6 +225,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         seed=args.seed,
         preset=args.preset,
         params=_parse_params(args.param),
+        platform=resolve_platform(args.platform),
         collect_counters=not args.no_counters,
     )
     cache = None
@@ -224,6 +263,7 @@ def cmd_bench_core(args: argparse.Namespace) -> int:
         args.mode,
         names=args.runs or None,
         repeat=args.repeat,
+        platform=args.platform,
         progress=lambda line: print(f"running {line}", file=sys.stderr),
     )
     print(render(result))
@@ -338,10 +378,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true", help="show help text and instances")
     p.set_defaults(fn=cmd_list_counters)
 
+    p = sub.add_parser("platform", help="inspect the available platform presets")
+    platform_sub = p.add_subparsers(dest="platform_command", required=True)
+    pp = platform_sub.add_parser("list", help="list platform presets")
+    pp.set_defaults(fn=cmd_platform_list)
+    pp = platform_sub.add_parser("show", help="hwloc-style description of one platform")
+    pp.add_argument("name", help="preset name or path to a .toml/.json platform file")
+    pp.set_defaults(fn=cmd_platform_show)
+
     p = sub.add_parser("run", help="run one benchmark")
     p.add_argument("benchmark", choices=available_benchmarks())
     p.add_argument("--runtime", choices=("hpx", "std"), default="hpx")
     p.add_argument("--cores", type=int, default=1)
+    p.add_argument(
+        "--platform",
+        default=None,
+        metavar="NAME|FILE",
+        help="simulated node: preset name or platform file (default: ivybridge-2x10)",
+    )
     p.add_argument(
         "--print-counter",
         action="append",
@@ -394,6 +448,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--samples", type=int, default=3, help="samples per cell group")
     p.add_argument("--seed", type=int, default=20160523, help="root seed (paper default)")
     p.add_argument("--preset", choices=("small", "default", "large"), default="default")
+    p.add_argument(
+        "--platform",
+        default=None,
+        metavar="NAME|FILE",
+        help="simulated node: preset name or platform file (part of each cell's cache key)",
+    )
     p.add_argument("--param", action="append", default=[], metavar="KEY=VALUE")
     p.add_argument("--jobs", type=int, default=1, help="worker processes (1 = serial)")
     p.add_argument("--out", default=None, metavar="FILE", help="artifact path (JSON)")
@@ -423,6 +483,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="subset of reference workloads (default: all three)",
     )
     p.add_argument("--repeat", type=int, default=2, help="interleaved pairs per workload")
+    p.add_argument(
+        "--platform",
+        default=None,
+        metavar="NAME|FILE",
+        help="simulated node for the reference runs (default: ivybridge-2x10)",
+    )
     p.add_argument("--out", default="BENCH_core.json", metavar="FILE", help="artifact path")
     p.add_argument(
         "--baseline",

@@ -24,8 +24,14 @@ PAPI_INSTRUMENT_NS = 30  # per event set, per task activation
 
 
 def register_papi_counters(registry: CounterRegistry) -> None:
-    """Register one ``/papi/<EVENT>`` type per known hardware event."""
+    """Register one ``/papi/<EVENT>`` type per hardware event the
+    platform's counter model exposes (all known events when no PAPI
+    substrate is in the environment)."""
+    papi = registry.env.papi
+    available = None if papi is None else getattr(papi, "events", None)
     for event in PAPI_EVENTS:
+        if available is not None and event.name not in available:
+            continue
         registry.register(
             CounterTypeEntry(
                 info=CounterInfo(

@@ -20,6 +20,8 @@ from repro.counters.registry import CounterRegistry, build_default_registry
 from repro.distributed.agas import AgasCache, AgasService
 from repro.distributed.parcel import NetworkParams, Parcel, Parcelport
 from repro.papi.hw import PapiSubstrate
+from repro.platform.presets import resolve_platform
+from repro.platform.spec import PlatformSpec
 from repro.runtime.config import HpxParams
 from repro.runtime.scheduler import HpxRuntime
 from repro.simcore.events import Engine
@@ -37,13 +39,13 @@ class Locality:
         engine: Engine,
         *,
         cores: int,
-        machine_spec: MachineSpec,
+        platform: PlatformSpec,
         hpx_params: HpxParams,
         network: NetworkParams,
         agas: AgasService,
     ) -> None:
         self.id = locality_id
-        self.machine = Machine(machine_spec)
+        self.machine = Machine(platform)
         self.runtime = HpxRuntime(engine, self.machine, num_workers=cores, params=hpx_params)
         self.runtime.locality_id = locality_id
         self.parcelport = Parcelport(locality_id, engine, network)
@@ -67,23 +69,26 @@ class DistributedSystem:
         *,
         localities: int,
         cores_per_locality: int,
+        platform: PlatformSpec | MachineSpec | str | None = None,
         machine_spec: MachineSpec | None = None,
         hpx_params: HpxParams | None = None,
         network: NetworkParams | None = None,
     ) -> None:
         if localities < 1:
             raise ValueError("need at least one locality")
+        if platform is not None and machine_spec is not None:
+            raise ValueError("pass either platform= or machine_spec=, not both")
         self.engine = engine
         self.network = network or NetworkParams()
         self.agas = AgasService()
-        spec = machine_spec or MachineSpec()
+        spec = resolve_platform(platform if platform is not None else machine_spec)
         params = hpx_params or HpxParams()
         self.localities = [
             Locality(
                 i,
                 engine,
                 cores=cores_per_locality,
-                machine_spec=spec,
+                platform=spec,
                 hpx_params=params,
                 network=self.network,
                 agas=self.agas,

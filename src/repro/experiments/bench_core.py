@@ -257,21 +257,26 @@ def _replay_stream(
 
 
 def _record_stream(
-    benchmark: str, runtime: str, cores: int, params: Mapping[str, Any]
+    benchmark: str, runtime: str, cores: int, params: Mapping[str, Any], platform: Any = None
 ) -> tuple[array, array, Any]:
     from repro.simcore.record import RecordingEngine
 
     recorder = RecordingEngine()
-    _, result = _run_once(benchmark, runtime, cores, params, lambda: recorder)
+    _, result = _run_once(benchmark, runtime, cores, params, lambda: recorder, platform)
     return recorder.groups, recorder.delays, result
 
 
 def _run_once(
-    benchmark: str, runtime: str, cores: int, params: Mapping[str, Any], factory: Any
+    benchmark: str,
+    runtime: str,
+    cores: int,
+    params: Mapping[str, Any],
+    factory: Any,
+    platform: Any = None,
 ) -> tuple[float, Any]:
     from repro.api import Session
 
-    session = Session(runtime=runtime, cores=cores, engine_factory=factory)
+    session = Session(runtime=runtime, cores=cores, platform=platform, engine_factory=factory)
     t0 = time.perf_counter()
     result = session.run(benchmark, params=params)
     return time.perf_counter() - t0, result
@@ -292,6 +297,7 @@ def run_reference(
     *,
     names: list[str] | None = None,
     repeat: int = 2,
+    platform: Any = None,
     progress: Callable[[str], None] | None = None,
 ) -> list[ReferenceRun]:
     """Run the reference workloads on both engines, interleaved."""
@@ -308,14 +314,16 @@ def run_reference(
         identical = True
         new_result: Any = None
         for _ in range(repeat):
-            new_wall, new_result = _run_once(benchmark, runtime, cores, params, Engine)
-            legacy_wall, legacy_result = _run_once(benchmark, runtime, cores, params, LegacyEngine)
+            new_wall, new_result = _run_once(benchmark, runtime, cores, params, Engine, platform)
+            legacy_wall, legacy_result = _run_once(
+                benchmark, runtime, cores, params, LegacyEngine, platform
+            )
             identical = identical and _same_results(new_result, legacy_result)
             best_new = min(best_new, new_wall)
             best_legacy = min(best_legacy, legacy_wall)
         # Record the event stream once, then replay it through both
         # engines: the event core at this workload's exact dynamics.
-        groups, delays, recorded = _record_stream(benchmark, runtime, cores, params)
+        groups, delays, recorded = _record_stream(benchmark, runtime, cores, params, platform)
         identical = identical and _same_results(new_result, recorded)
         best_replay_new = best_replay_legacy = float("inf")
         for _ in range(repeat):
@@ -357,11 +365,17 @@ def run_bench_core(
     *,
     names: list[str] | None = None,
     repeat: int = 2,
+    platform: Any = None,
     progress: Callable[[str], None] | None = None,
 ) -> BenchCoreResult:
-    """Full bench-core pass: synthetic patterns + reference runs."""
+    """Full bench-core pass: synthetic patterns + reference runs.
+
+    *platform* selects the simulated node for the reference runs (a
+    preset name, platform file path, or spec); the synthetic patterns
+    bypass the machine model and are platform-independent.
+    """
     core = run_core_patterns()
-    runs = run_reference(mode, names=names, repeat=repeat, progress=progress)
+    runs = run_reference(mode, names=names, repeat=repeat, platform=platform, progress=progress)
     return BenchCoreResult(mode=mode, core=core, runs=runs)
 
 

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.kernel.config import StdParams
+from repro.platform.presets import default_platform
+from repro.platform.spec import PlatformSpec
 from repro.runtime.config import HpxParams
 from repro.simcore.machine import MachineSpec
 
@@ -58,7 +60,7 @@ DEFAULT_COUNTERS = SOFTWARE_COUNTERS + PAPI_COUNTERS
 
 
 def default_machine_spec() -> MachineSpec:
-    """The Table III node."""
+    """The Table III node, in the legacy even-shape spelling."""
     return MachineSpec()
 
 
@@ -78,9 +80,19 @@ def default_std_params() -> StdParams:
 class ExperimentConfig:
     """Everything one experiment needs to be reproducible."""
 
-    machine: MachineSpec = field(default_factory=default_machine_spec)
+    platform: PlatformSpec = field(default_factory=default_platform)
     hpx: HpxParams = field(default_factory=default_hpx_params)
     std: StdParams = field(default_factory=default_std_params)
     samples: int = DEFAULT_SAMPLES
     core_counts: tuple[int, ...] = QUICK_CORE_COUNTS
     seed: int = 20160523
+
+    def __post_init__(self) -> None:
+        # Accept the legacy even-shape spelling transparently.
+        if isinstance(self.platform, MachineSpec):
+            object.__setattr__(self, "platform", self.platform.to_platform())
+
+    @property
+    def machine(self) -> PlatformSpec:
+        """Legacy alias for :attr:`platform`."""
+        return self.platform

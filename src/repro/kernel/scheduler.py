@@ -102,9 +102,11 @@ class StdRuntime:
         self.engine = engine
         self.machine = machine
         self.params = params or StdParams()
-        self.topology = Topology(machine.spec)
+        self.topology = Topology(machine.platform)
         cores = self.topology.binding(num_workers, bind_mode)
-        self.cores = [_KCore(i, core, machine.spec.socket_of(core)) for i, core in enumerate(cores)]
+        self.cores = [
+            _KCore(i, core, machine.platform.socket_of(core)) for i, core in enumerate(cores)
+        ]
         self.run_queue: deque[OSThread] = deque()
         # The shared effect interpreter and the published probe bus.
         self._interp = EffectInterpreter(self)

@@ -1,4 +1,11 @@
-"""PAPI substrate: reads hardware events out of the machine model."""
+"""PAPI substrate: reads hardware events out of the machine model.
+
+Which events exist is part of the platform description
+(``PlatformSpec.papi_events``): the substrate only serves events the
+simulated node's counter model exposes, and names the platform in the
+error when asked for anything else — mirroring real PAPI, where the
+available native events are a property of the microarchitecture.
+"""
 
 from __future__ import annotations
 
@@ -11,12 +18,25 @@ class PapiSubstrate:
 
     def __init__(self, machine: Machine) -> None:
         self.machine = machine
+        self.platform = machine.platform
+        #: Event names the platform's counter model exposes.
+        self.events = frozenset(self.platform.papi_events)
+
+    def available(self, event: PapiEvent | str) -> bool:
+        """True when the platform's counter model exposes *event*."""
+        name = event if isinstance(event, str) else event.name
+        return name in self.events
 
     def read(self, event: PapiEvent | str, core_index: int | None = None) -> int:
         """Current count of *event*; totalled over all cores if
         *core_index* is None."""
         if isinstance(event, str):
             event = lookup_event(event)
+        if event.name not in self.events:
+            raise KeyError(
+                f"event {event.name!r} is not exposed by platform "
+                f"{self.platform.name!r}; available: {', '.join(sorted(self.events))}"
+            )
         if core_index is not None:
             return getattr(self.machine.cores[core_index].hw, event.attr)
         return sum(getattr(core.hw, event.attr) for core in self.machine.cores)

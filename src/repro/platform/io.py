@@ -1,0 +1,119 @@
+"""Platform files: TOML/JSON loading, validation, and TOML emission.
+
+A platform file is the on-disk form of a :class:`PlatformSpec`::
+
+    name = "mynode-2x12"
+    cross_socket_factor = 1.8
+    ram_bytes = 137438953472
+
+    [[sockets]]
+    cores = 12
+    freq_ghz = 2.9
+
+    [[sockets]]
+    cores = 12
+    freq_ghz = 2.9
+
+JSON uses the same keys (``PlatformSpec.to_json_dict``).  Loading goes
+through the same schema validation either way: unknown keys and missing
+required keys raise :class:`~repro.platform.spec.PlatformError` naming
+the offender, not a bare ``TypeError`` deep inside a constructor.
+
+TOML emission (:func:`platform_to_toml`) is a deliberately minimal
+writer covering exactly the platform schema — the stdlib has a TOML
+reader (3.11+) but no writer, and the container may not have tomli-w.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.platform.spec import PlatformError, PlatformSpec
+
+try:  # stdlib from 3.11; gate so 3.10 still imports (JSON keeps working)
+    import tomllib
+except ImportError:  # pragma: no cover - 3.10 fallback
+    tomllib = None  # type: ignore[assignment]
+
+
+def load_platform_file(path: str | Path) -> PlatformSpec:
+    """Load and validate a ``.toml`` or ``.json`` platform file."""
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise PlatformError(f"cannot read platform file {path}: {exc}") from exc
+    suffix = path.suffix.lower()
+    if suffix == ".json":
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise PlatformError(f"invalid JSON in platform file {path}: {exc}") from exc
+    elif suffix == ".toml":
+        if tomllib is None:
+            raise PlatformError(
+                f"cannot load {path}: TOML platform files need Python >= 3.11 "
+                "(tomllib); use the JSON form on this interpreter"
+            )
+        try:
+            data = tomllib.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, tomllib.TOMLDecodeError) as exc:
+            raise PlatformError(f"invalid TOML in platform file {path}: {exc}") from exc
+    else:
+        raise PlatformError(f"platform file {path} must end in .toml or .json, got {path.suffix!r}")
+    if not isinstance(data, Mapping):
+        raise PlatformError(f"platform file {path} must contain a table/object at top level")
+    return PlatformSpec.from_json_dict(data)
+
+
+def save_platform_file(spec: PlatformSpec, path: str | Path) -> Path:
+    """Write *spec* to a ``.toml`` or ``.json`` file (by suffix)."""
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".json":
+        text = json.dumps(spec.to_json_dict(), indent=2, sort_keys=True) + "\n"
+    elif suffix == ".toml":
+        text = platform_to_toml(spec)
+    else:
+        raise PlatformError(f"platform file {path} must end in .toml or .json, got {path.suffix!r}")
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+# -- minimal TOML emission -------------------------------------------------
+
+
+def _toml_value(value: Any) -> str:
+    """TOML literal for the value types the platform schema uses."""
+    if isinstance(value, bool):  # before int: bool is an int subclass
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        # repr round-trips floats exactly and is valid TOML (inf/nan
+        # never appear: validation rejects non-finite spec fields).
+        return repr(value)
+    if isinstance(value, str):
+        return json.dumps(value)  # JSON string escaping is valid TOML
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_toml_value(v) for v in value) + "]"
+    raise PlatformError(f"cannot emit TOML for value {value!r}")
+
+
+def platform_to_toml(spec: PlatformSpec) -> str:
+    """Render *spec* as a TOML document (lossless round-trip)."""
+    data = spec.to_json_dict()
+    sockets = data.pop("sockets")
+    lines = []
+    for key, value in data.items():
+        if value is None:
+            continue  # optional field at its "absent" value
+        lines.append(f"{key} = {_toml_value(value)}")
+    for socket in sockets:
+        lines.append("")
+        lines.append("[[sockets]]")
+        for key, value in socket.items():
+            lines.append(f"{key} = {_toml_value(value)}")
+    return "\n".join(lines) + "\n"

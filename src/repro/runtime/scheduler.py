@@ -119,10 +119,10 @@ class HpxRuntime:
         # function is what we schedule wherever a task resumes.
         self._interp = EffectInterpreter(self)
         self._step = self._interp.step
-        self.topology = Topology(machine.spec)
+        self.topology = Topology(machine.platform)
         cores = self.topology.binding_smt(num_workers, smt, bind_mode)
         self.workers = [
-            _Worker(i, core, machine.spec.socket_of(core))
+            _Worker(i, core, machine.platform.socket_of(core))
             for i, core in enumerate(cores)
         ]
         # Hyper-threading: number of workers currently computing per

@@ -1,24 +1,46 @@
-"""Node model: sockets, cores, shared L3 pressure, hardware counters.
+"""Node model: the simulated machine behind one platform spec.
 
-Models the paper's platform (Table III): dual-socket Intel Ivy Bridge
-E5-2670v2, 10 cores/socket at 2.5 GHz, 25 MB shared L3 per socket,
-hyper-threading disabled.  The machine turns :class:`~repro.model.work.Work`
-descriptions into segment durations (CPU time + contended memory time)
-and accumulates per-core hardware event counts that the simulated PAPI
-layer exposes.
+The contention/latency math lives in
+:class:`repro.platform.resource.ResourceModel`; :class:`Machine` owns
+the per-core state (hardware counters, busy time) and delegates every
+segment to the resource model.  A machine is built from any
+:class:`~repro.platform.spec.PlatformSpec` — the default is the paper's
+platform (Table III): dual-socket Intel Ivy Bridge E5-2670v2, 10
+cores/socket at 2.5 GHz, 25 MB shared L3 per socket, hyper-threading
+disabled.
+
+:class:`MachineSpec` remains as the legacy single-shape description
+(N identical sockets); it converts losslessly to a ``PlatformSpec``
+via :meth:`MachineSpec.to_platform` and is accepted everywhere a
+platform is.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Union
 
 from repro.model.work import Work
-from repro.simcore.memory import MemoryController
+from repro.platform.presets import resolve_platform
+from repro.platform.resource import (
+    Core,
+    HardwareCounters,
+    ResourceModel,
+    SegmentTicket,
+)
+from repro.platform.spec import PlatformSpec, SocketSpec
+
+__all__ = ["Core", "HardwareCounters", "Machine", "MachineSpec", "SegmentTicket"]
 
 
 @dataclass(frozen=True)
 class MachineSpec:
-    """Static description of the simulated node."""
+    """Legacy static description of a node with N identical sockets.
+
+    Kept for backwards compatibility (and as the compact spelling for
+    even shapes); :meth:`to_platform` is the lossless upgrade path to
+    the declarative :class:`~repro.platform.spec.PlatformSpec`.
+    """
 
     name: str = "ivybridge-2x10"
     sockets: int = 2
@@ -42,82 +64,76 @@ class MachineSpec:
             raise IndexError(f"core {core_index} out of range")
         return core_index // self.cores_per_socket
 
+    def to_platform(self) -> PlatformSpec:
+        """The equivalent declarative platform (lossless)."""
+        socket = SocketSpec(
+            cores=self.cores_per_socket,
+            freq_ghz=self.freq_ghz,
+            l3_bytes=self.l3_bytes_per_socket,
+            peak_bw=self.socket_peak_bw,
+            per_core_bw=self.per_core_bw,
+        )
+        return PlatformSpec(
+            name=self.name,
+            sockets=(socket,) * self.sockets,
+            cross_socket_factor=self.cross_socket_factor,
+            ram_bytes=self.ram_bytes,
+            ipc=self.ipc,
+            l3_pressure_alpha=self.l3_pressure_alpha,
+            l3_max_factor=self.l3_max_factor,
+        )
 
-@dataclass
-class HardwareCounters:
-    """Monotonic per-core hardware event counts (the PAPI substrate)."""
+    @classmethod
+    def from_platform(cls, platform: PlatformSpec) -> "MachineSpec":
+        """The legacy spelling of *platform* (homogeneous shapes only)."""
+        if not platform.homogeneous:
+            raise ValueError(
+                f"platform {platform.name!r} has uneven sockets; "
+                "it has no MachineSpec spelling"
+            )
+        socket = platform.sockets[0]
+        return cls(
+            name=platform.name,
+            sockets=platform.num_sockets,
+            cores_per_socket=socket.cores,
+            freq_ghz=socket.freq_ghz,
+            l3_bytes_per_socket=socket.l3_bytes,
+            socket_peak_bw=socket.peak_bw,
+            per_core_bw=socket.per_core_bw,
+            cross_socket_factor=platform.cross_socket_factor,
+            ram_bytes=platform.ram_bytes,
+            ipc=platform.ipc,
+            l3_pressure_alpha=platform.l3_pressure_alpha,
+            l3_max_factor=platform.l3_max_factor,
+        )
 
-    cycles: int = 0
-    instructions: int = 0
-    offcore_all_data_rd: int = 0
-    offcore_demand_code_rd: int = 0
-    offcore_demand_rfo: int = 0
 
-    def offcore_total(self) -> int:
-        return (self.offcore_all_data_rd + self.offcore_demand_code_rd + self.offcore_demand_rfo)
-
-
-@dataclass
-class Core:
-    """One physical core."""
-
-    index: int
-    socket: int
-    hw: HardwareCounters = field(default_factory=HardwareCounters)
-    busy_ns: int = 0  # cumulative time spent executing segments
-
-
-class SegmentTicket:
-    """Handle returned by :meth:`Machine.segment_begin`; pass back to
-    :meth:`Machine.segment_end` when the segment's end event fires.
-
-    Plain ``__slots__`` object (one per compute segment — hot path);
-    treat instances as immutable."""
-
-    __slots__ = ("core_index", "socket", "duration_ns", "membytes_effective", "uses_memory")
-
-    def __init__(
-        self,
-        core_index: int,
-        socket: int,
-        duration_ns: int,
-        membytes_effective: int,
-        uses_memory: bool,
-    ) -> None:
-        self.core_index = core_index
-        self.socket = socket
-        self.duration_ns = duration_ns
-        self.membytes_effective = membytes_effective
-        self.uses_memory = uses_memory
+#: Anything a Machine (or Topology) accepts as its platform.
+PlatformLike = Union[PlatformSpec, MachineSpec, str, None]
 
 
 class Machine:
     """The simulated node: resolves Work into time and event counts."""
 
-    def __init__(self, spec: MachineSpec | None = None) -> None:
-        self.spec = spec or MachineSpec()
+    def __init__(self, spec: PlatformLike = None) -> None:
+        self.platform = resolve_platform(spec)
+        self.resources = ResourceModel(self.platform)
         self.cores = [
-            Core(index=i, socket=self.spec.socket_of(i))
-            for i in range(self.spec.total_cores)
+            Core(index=i, socket=self.platform.socket_of(i))
+            for i in range(self.platform.total_cores)
         ]
-        self.controllers = [
-            MemoryController(
-                s,
-                peak_bw=self.spec.socket_peak_bw,
-                per_core_bw=self.spec.per_core_bw,
-                cross_socket_factor=self.spec.cross_socket_factor,
-            )
-            for s in range(self.spec.sockets)
-        ]
-        # Sum of the working sets of segments currently active per socket,
-        # for the shared-L3 pressure model.
-        self._active_ws = [0] * self.spec.sockets
-        # Spec is frozen: cache the constants segment_begin reads per call.
-        self._l3_bytes = self.spec.l3_bytes_per_socket
-        self._l3_alpha = self.spec.l3_pressure_alpha
-        self._l3_max = self.spec.l3_max_factor
-        self._freq_ghz = self.spec.freq_ghz
-        self._ipc = self.spec.ipc
+        # Compat alias: the controllers live on the resource model now.
+        self.controllers = self.resources.controllers
+
+    @property
+    def spec(self) -> PlatformSpec:
+        """The platform this machine simulates (legacy spelling)."""
+        return self.platform
+
+    @property
+    def _active_ws(self) -> list[int]:
+        """Per-socket active working sets (legacy test hook)."""
+        return self.resources.active_ws
 
     # -- queries ---------------------------------------------------------
 
@@ -126,14 +142,10 @@ class Machine:
 
     def l3_pressure_factor(self, socket: int, extra_ws: int) -> float:
         """Traffic inflation once concurrent working sets overflow the L3."""
-        ws = self._active_ws[socket] + extra_ws
-        overflow = ws / self.spec.l3_bytes_per_socket - 1.0
-        if overflow <= 0:
-            return 1.0
-        return min(self.spec.l3_max_factor, 1.0 + self.spec.l3_pressure_alpha * overflow)
+        return self.resources.l3_pressure_factor(socket, extra_ws)
 
     def total_offcore_bytes(self) -> int:
-        return sum(c.stats.bytes_total for c in self.controllers)
+        return self.resources.total_offcore_bytes()
 
     # -- segment lifecycle -------------------------------------------------
 
@@ -151,54 +163,13 @@ class Machine:
         contention.  *speed_factor* scales CPU time (>1 means slower;
         used by the kernel model for time-slicing dilation).
         """
-        core = self.cores[core_index]
-        socket = core.socket
-        controller = self.controllers[socket]
-        working_set = work.membytes if work.working_set is None else work.working_set
-
-        # Inline l3_pressure_factor (hot path: one call per segment).
-        ws = self._active_ws[socket] + working_set
-        overflow = ws / self._l3_bytes - 1.0
-        if overflow <= 0:
-            pressure = 1.0
-        else:
-            pressure = min(self._l3_max, 1.0 + self._l3_alpha * overflow)
-        membytes = round(work.membytes * pressure)
-        mem_ns = controller.service_time_ns(membytes, cross_socket_fraction=cross_socket_fraction)
-        cpu_ns = round(work.cpu_ns * speed_factor)
-        duration = cpu_ns + mem_ns
-
-        uses_memory = membytes > 0
-        if uses_memory:
-            controller.stream_started(membytes, cross_socket_fraction=cross_socket_fraction)
-        self._active_ws[socket] += working_set
-
-        # Hardware counter increments are booked at segment start; the
-        # simulated PAPI layer only ever observes them after the segment
-        # completes, so eager booking is unobservable and cheaper.
-        hw = core.hw
-        if membytes:
-            lines_work = work.scaled_traffic(pressure)
-            data_rd, code_rd, rfo = lines_work.offcore_requests()
-            hw.offcore_all_data_rd += data_rd
-            hw.offcore_demand_code_rd += code_rd
-            hw.offcore_demand_rfo += rfo
-        hw.cycles += round(duration * self._freq_ghz)
-        hw.instructions += round(work.cpu_ns * self._freq_ghz * self._ipc)
-        core.busy_ns += duration
-
-        return SegmentTicket(
-            core_index=core_index,
-            socket=socket,
-            duration_ns=duration,
-            membytes_effective=membytes,
-            uses_memory=uses_memory,
+        return self.resources.segment_begin(
+            self.cores[core_index],
+            work,
+            cross_socket_fraction=cross_socket_fraction,
+            speed_factor=speed_factor,
         )
 
     def segment_end(self, ticket: SegmentTicket, work: Work) -> None:
         """Finish the segment identified by *ticket*."""
-        if ticket.uses_memory:
-            self.controllers[ticket.socket].stream_finished()
-        self._active_ws[ticket.socket] -= work.effective_working_set
-        if self._active_ws[ticket.socket] < 0:
-            raise RuntimeError("working-set accounting went negative")
+        self.resources.segment_end(ticket, work)

@@ -1,110 +1,12 @@
-"""Per-socket memory-controller model.
+"""Per-socket memory-controller model (legacy import location).
 
-Each socket owns one memory controller with a bounded peak bandwidth.
-A single core cannot saturate the controller on its own (it is limited
-by its private miss bandwidth), so aggregate bandwidth first rises with
-the number of concurrently-streaming cores and then saturates — the
-shape the paper's Figures 13/14 show for the offcore-request-derived
-bandwidth estimate.
-
-The model is a snapshot model: when a compute segment starts, its memory
-service time is computed from the number of streams active on the
-socket *at that instant*.  This keeps the discrete-event engine free of
-O(n) re-scheduling storms while preserving the contention shape.
+The bandwidth-arbitration math moved into the unified resource model at
+:mod:`repro.platform.resource`; this module re-exports it so existing
+imports keep working.  See that module for the model description.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from repro.platform.resource import MemoryController, MemoryTrafficStats
 
-
-@dataclass(slots=True)
-class MemoryTrafficStats:
-    """Cumulative memory traffic bookkeeping for one socket."""
-
-    bytes_total: int = 0
-    bytes_cross_socket: int = 0
-    segments: int = 0
-
-
-class MemoryController:
-    """Bandwidth arbitration for one socket.
-
-    Parameters
-    ----------
-    socket_id:
-        Index of the owning socket.
-    peak_bw:
-        Socket peak memory bandwidth in bytes per second.
-    per_core_bw:
-        Maximum bandwidth a single core can draw, bytes per second.
-    cross_socket_factor:
-        Multiplier (> 1) applied to the service time of traffic that
-        crosses the QPI link to the remote socket's memory.
-    """
-
-    __slots__ = (
-        "socket_id",
-        "peak_bw",
-        "per_core_bw",
-        "cross_socket_factor",
-        "active_streams",
-        "stats",
-    )
-
-    def __init__(
-        self,
-        socket_id: int,
-        *,
-        peak_bw: float,
-        per_core_bw: float,
-        cross_socket_factor: float = 1.6,
-    ) -> None:
-        if peak_bw <= 0 or per_core_bw <= 0:
-            raise ValueError("bandwidths must be positive")
-        self.socket_id = socket_id
-        self.peak_bw = float(peak_bw)
-        self.per_core_bw = float(per_core_bw)
-        self.cross_socket_factor = float(cross_socket_factor)
-        self.active_streams = 0
-        self.stats = MemoryTrafficStats()
-
-    def effective_bandwidth(self, streams: int | None = None) -> float:
-        """Bandwidth one stream obtains with *streams* concurrent streams."""
-        n = self.active_streams if streams is None else streams
-        n = max(1, n)
-        return min(self.per_core_bw, self.peak_bw / n)
-
-    def service_time_ns(self, nbytes: int, *, cross_socket_fraction: float = 0.0) -> int:
-        """Nanoseconds needed to move *nbytes* under current contention."""
-        if nbytes <= 0:
-            return 0
-        if cross_socket_fraction == 0.0:
-            # Hot path: socket-local traffic (the common case).  Matches
-            # the general expression exactly: local == float(nbytes),
-            # remote == 0.0, and bw is the same min().
-            bw = self.peak_bw / (self.active_streams + 1)
-            if bw > self.per_core_bw:
-                bw = self.per_core_bw
-            return round(nbytes / bw * 1e9)
-        if not 0.0 <= cross_socket_fraction <= 1.0:
-            raise ValueError("cross_socket_fraction must be in [0, 1]")
-        bw = self.effective_bandwidth(self.active_streams + 1)
-        local = nbytes * (1.0 - cross_socket_fraction)
-        remote = nbytes * cross_socket_fraction * self.cross_socket_factor
-        return round((local + remote) / bw * 1e9)
-
-    def stream_started(self, nbytes: int, *, cross_socket_fraction: float = 0.0) -> None:
-        """Register a memory-consuming segment beginning on this socket."""
-        self.active_streams += 1
-        stats = self.stats
-        stats.bytes_total += nbytes
-        if cross_socket_fraction:
-            stats.bytes_cross_socket += round(nbytes * cross_socket_fraction)
-        stats.segments += 1
-
-    def stream_finished(self) -> None:
-        """Register a memory-consuming segment ending."""
-        if self.active_streams <= 0:
-            raise RuntimeError("stream_finished without matching stream_started")
-        self.active_streams -= 1
+__all__ = ["MemoryController", "MemoryTrafficStats"]

@@ -3,14 +3,18 @@
 The paper pins worker threads so sockets fill first (``taskset`` for the
 Standard versions, ``--hpx:bind`` for HPX, verified with ``htop``).
 :class:`Topology` reproduces that: it maps a requested worker count to a
-concrete list of core indices under a binding mode.
+concrete list of core indices under a binding mode.  Topologies are
+built from any :class:`~repro.platform.spec.PlatformSpec` — including
+uneven socket shapes (1-socket desktops, asymmetric hybrids) — with the
+legacy even-shape ``MachineSpec`` accepted and converted.
 """
 
 from __future__ import annotations
 
 import enum
 
-from repro.simcore.machine import MachineSpec
+from repro.platform.presets import resolve_platform
+from repro.platform.spec import PlatformSpec
 
 
 class BindMode(enum.Enum):
@@ -26,46 +30,75 @@ class BindMode(enum.Enum):
             return cls(text.lower())
         except ValueError:
             valid = ", ".join(m.value for m in cls)
-            raise ValueError(f"unknown bind mode {text!r}; expected one of {valid}")
+            raise ValueError(f"unknown bind mode {text!r}; expected one of {valid}") from None
 
 
 class Topology:
-    """Logical view of the machine for affinity decisions."""
+    """Logical view of the platform for affinity decisions."""
 
-    def __init__(self, spec: MachineSpec) -> None:
-        self.spec = spec
+    def __init__(self, spec: PlatformSpec | object | None = None) -> None:
+        self.platform = resolve_platform(spec)
+
+    @property
+    def spec(self) -> PlatformSpec:
+        """The underlying platform (legacy spelling)."""
+        return self.platform
 
     def describe_core(self, core_index: int) -> str:
         """hwloc-like location string, e.g. ``socket#1/core#3``."""
-        socket = self.spec.socket_of(core_index)
-        local = core_index - socket * self.spec.cores_per_socket
+        socket, local = self.platform.core_local(core_index)
         return f"socket#{socket}/core#{local}"
+
+    def _check_workers(self, num_workers: int, total: int) -> None:
+        if not 1 <= num_workers <= total:
+            raise ValueError(
+                f"platform {self.platform.name!r} has {total} bindable cores; "
+                f"num_workers must be in [1, {total}], got {num_workers}"
+            )
 
     def binding(self, num_workers: int, mode: BindMode = BindMode.COMPACT) -> list[int]:
         """Core indices for *num_workers* workers under *mode*.
 
-        Raises ``ValueError`` if more workers than cores are requested
-        (hyper-threading is disabled in the paper's experiments).
+        Raises ``ValueError`` naming the platform if more workers than
+        cores are requested (hyper-threading is disabled in the paper's
+        experiments).
         """
-        total = self.spec.total_cores
-        if not 1 <= num_workers <= total:
-            raise ValueError(f"num_workers must be in [1, {total}], got {num_workers}")
+        platform = self.platform
+        self._check_workers(num_workers, platform.total_cores)
         if mode is BindMode.COMPACT:
+            # Global core indices are already socket-major.
             return list(range(num_workers))
         if mode is BindMode.SCATTER:
+            # Round-robin by local core index; exhausted (smaller)
+            # sockets simply drop out of later rounds.
             order: list[int] = []
-            per = self.spec.cores_per_socket
-            for local in range(per):
-                for socket in range(self.spec.sockets):
-                    order.append(socket * per + local)
+            rounds = max(sock.cores for sock in platform.sockets)
+            for local in range(rounds):
+                for socket, sock in enumerate(platform.sockets):
+                    if local < sock.cores:
+                        order.append(platform.core_range(socket)[local])
             return order[:num_workers]
         if mode is BindMode.BALANCED:
-            per = self.spec.cores_per_socket
-            base, extra = divmod(num_workers, self.spec.sockets)
+            # Even split, compact within each socket; on uneven shapes a
+            # socket never takes more than it has and the overflow is
+            # redistributed to sockets with spare capacity, in order.
+            capacities = [sock.cores for sock in platform.sockets]
+            base, extra = divmod(num_workers, len(capacities))
+            targets = [base + (1 if socket < extra else 0) for socket in range(len(capacities))]
+            counts = [min(target, cap) for target, cap in zip(targets, capacities)]
+            overflow = num_workers - sum(counts)
+            while overflow > 0:
+                # One worker at a time onto the least-loaded socket with
+                # spare capacity, so the split stays as even as it can be.
+                socket = min(
+                    (s for s, cap in enumerate(capacities) if counts[s] < cap),
+                    key=lambda s: (counts[s], s),
+                )
+                counts[socket] += 1
+                overflow -= 1
             order = []
-            for socket in range(self.spec.sockets):
-                count = base + (1 if socket < extra else 0)
-                order.extend(range(socket * per, socket * per + count))
+            for socket, count in enumerate(counts):
+                order.extend(platform.core_range(socket)[:count])
             return order
         raise AssertionError(f"unhandled bind mode {mode}")
 
@@ -80,12 +113,11 @@ class Topology:
         """
         if smt < 1:
             raise ValueError("smt must be >= 1")
-        total = self.spec.total_cores * smt
-        if not 1 <= num_workers <= total:
-            raise ValueError(f"num_workers must be in [1, {total}], got {num_workers}")
-        if num_workers <= self.spec.total_cores:
+        total_cores = self.platform.total_cores
+        self._check_workers(num_workers, total_cores * smt)
+        if num_workers <= total_cores:
             return self.binding(num_workers, mode)
-        full = self.binding(self.spec.total_cores, mode)
+        full = self.binding(total_cores, mode)
         out = list(full)
         while len(out) < num_workers:
             out.append(full[len(out) % len(full)])
@@ -93,4 +125,4 @@ class Topology:
 
     def sockets_used(self, core_indices: list[int]) -> set[int]:
         """Set of socket ids covered by *core_indices*."""
-        return {self.spec.socket_of(c) for c in core_indices}
+        return {self.platform.socket_of(c) for c in core_indices}

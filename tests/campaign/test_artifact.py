@@ -42,7 +42,7 @@ def test_unsupported_schema_rejected(small_run, tmp_path):
 def test_curves_match_serial_harness(small_spec, small_run):
     """Artifact aggregation is the harness aggregation, number for number."""
     config = ExperimentConfig(
-        machine=small_spec.machine,
+        platform=small_spec.platform,
         hpx=small_spec.hpx,
         std=small_spec.std,
         samples=small_spec.samples,

@@ -99,3 +99,38 @@ def test_json_roundtrip_preserves_identity():
     clone = CampaignSpec.from_json_dict(spec.to_json_dict())
     assert clone == spec
     assert clone.spec_id() == spec.spec_id()
+
+
+def test_cache_key_sensitive_to_platform():
+    """Two cells differing only in platform must never share a result."""
+    from repro.platform import get_platform
+
+    spec = make_spec()
+    cell = next(iter(spec.cells()))
+    keys = {cell_cache_key(spec, cell)}
+    for name in ("desktop-1x8", "epyc-2x64", "hybrid-4p8e"):
+        keys.add(cell_cache_key(make_spec(platform=get_platform(name)), cell))
+    assert len(keys) == 4
+
+
+def test_spec_accepts_legacy_machinespec():
+    from repro.simcore.machine import MachineSpec
+
+    spec = make_spec(platform=MachineSpec())
+    assert spec.platform == MachineSpec().to_platform()
+    assert spec.machine == spec.platform  # legacy alias
+
+
+def test_from_json_dict_accepts_legacy_machine_key():
+    """Pre-platform artifacts (e.g. the committed CI baseline) carry a
+    flat MachineSpec dict under "machine"; they must still load."""
+    import dataclasses as _dc
+
+    from repro.simcore.machine import MachineSpec
+
+    data = make_spec().to_json_dict()
+    assert "platform" in data and "machine" not in data
+    del data["platform"]
+    data["machine"] = _dc.asdict(MachineSpec())
+    spec = CampaignSpec.from_json_dict(data)
+    assert spec.platform == MachineSpec().to_platform()

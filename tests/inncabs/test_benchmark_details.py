@@ -72,9 +72,7 @@ def test_strassen_task_count_seven_way():
 
 
 def test_uts_tree_size_equals_tasks():
-    result = run_hpx(
-        "uts", params={"b0": 15, "m": 3, "q": 0.3, "max_depth": 8}, keep_result=True
-    )
+    result = run_hpx("uts", params={"b0": 15, "m": 3, "q": 0.3, "max_depth": 8}, keep_result=True)
     assert result.result == result.tasks_executed  # one task per node
 
 

@@ -1,0 +1,117 @@
+"""Seeded property-style tests: bindings are valid on arbitrary shapes.
+
+Rather than enumerating shapes by hand, a seeded RNG generates a few
+hundred (platform, num_workers, mode) cases — 1-socket, many-socket,
+asymmetric — and every binding is checked against the properties that
+make a binding a binding: right length, in range, no core used twice,
+deterministic.  The seed is fixed, so failures reproduce exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.platform.spec import PlatformSpec, SocketSpec
+from repro.simcore.topology import BindMode, Topology
+
+SEED = 20160523
+
+
+def random_platform(rng: random.Random) -> PlatformSpec:
+    num_sockets = rng.randint(1, 4)
+    sockets = tuple(
+        SocketSpec(cores=rng.randint(1, 12), freq_ghz=rng.choice((2.0, 2.5, 3.6)))
+        for _ in range(num_sockets)
+    )
+    return PlatformSpec(name=f"random-{rng.randrange(1 << 30):x}", sockets=sockets)
+
+
+def generate_cases(count: int = 300):
+    rng = random.Random(SEED)
+    for _ in range(count):
+        platform = random_platform(rng)
+        num_workers = rng.randint(1, platform.total_cores)
+        mode = rng.choice(list(BindMode))
+        yield platform, num_workers, mode
+
+
+@pytest.mark.parametrize("mode", list(BindMode))
+def test_bindings_valid_on_random_shapes(mode):
+    rng = random.Random(SEED + hash(mode.value) % 1000)
+    for _ in range(150):
+        platform = random_platform(rng)
+        topology = Topology(platform)
+        num_workers = rng.randint(1, platform.total_cores)
+        cores = topology.binding(num_workers, mode)
+        assert len(cores) == num_workers
+        assert len(set(cores)) == num_workers  # no core bound twice
+        assert all(0 <= c < platform.total_cores for c in cores)
+        assert cores == topology.binding(num_workers, mode)  # deterministic
+
+
+def test_full_binding_covers_every_core():
+    for platform, _, mode in generate_cases(100):
+        cores = Topology(platform).binding(platform.total_cores, mode)
+        assert sorted(cores) == list(range(platform.total_cores))
+
+
+def test_compact_fills_sockets_in_order():
+    for platform, num_workers, _ in generate_cases(100):
+        cores = Topology(platform).binding(num_workers, BindMode.COMPACT)
+        assert cores == list(range(num_workers))
+
+
+def test_scatter_spreads_across_sockets():
+    """With at least as many workers as sockets, scatter touches all of
+    them (possible by construction: every socket has >= 1 core)."""
+    for platform, _, _ in generate_cases(100):
+        topology = Topology(platform)
+        workers = min(platform.total_cores, platform.num_sockets)
+        used = topology.sockets_used(topology.binding(workers, BindMode.SCATTER))
+        assert used == set(range(platform.num_sockets))
+
+
+def test_balanced_never_exceeds_capacity_and_stays_even():
+    for platform, num_workers, _ in generate_cases(100):
+        topology = Topology(platform)
+        cores = topology.binding(num_workers, BindMode.BALANCED)
+        per_socket = [0] * platform.num_sockets
+        for core in cores:
+            per_socket[platform.socket_of(core)] += 1
+        for socket, count in enumerate(per_socket):
+            assert count <= platform.sockets[socket].cores
+        # Sockets that could take an even share differ by at most one
+        # from each other (overflow only lands where there is capacity).
+        unsaturated = [
+            count
+            for socket, count in enumerate(per_socket)
+            if count < platform.sockets[socket].cores
+        ]
+        if len(unsaturated) > 1:
+            assert max(unsaturated) - min(unsaturated) <= 1
+
+
+def test_binding_error_names_platform():
+    platform = PlatformSpec(name="tiny-1x2", sockets=(SocketSpec(cores=2),))
+    with pytest.raises(ValueError, match="tiny-1x2"):
+        Topology(platform).binding(3)
+    with pytest.raises(ValueError, match=r"must be in \[1, 2\]"):
+        Topology(platform).binding(0)
+
+
+def test_bind_mode_parse_chains_cleanly():
+    assert BindMode.parse("Compact") is BindMode.COMPACT
+    with pytest.raises(ValueError, match="unknown bind mode") as excinfo:
+        BindMode.parse("sprinkle")
+    assert excinfo.value.__cause__ is None  # raise ... from None
+    assert excinfo.value.__suppress_context__
+
+
+def test_legacy_even_shapes_unchanged():
+    """On the paper's 2x10 node the generalized algorithms must produce
+    exactly the historical bindings (golden-fixture safety)."""
+    topology = Topology(None)
+    assert topology.binding(6, BindMode.COMPACT) == [0, 1, 2, 3, 4, 5]
+    assert topology.binding(6, BindMode.SCATTER) == [0, 10, 1, 11, 2, 12]
+    assert topology.binding(6, BindMode.BALANCED) == [0, 1, 2, 10, 11, 12]
+    assert topology.binding(5, BindMode.BALANCED) == [0, 1, 2, 10, 11]

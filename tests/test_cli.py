@@ -281,3 +281,48 @@ def test_campaign_verbose_progress(tmp_path, capsys):
     )
     err = capsys.readouterr().err
     assert "[1/1] fib/hpx cores=1 sample=0" in err
+
+
+def test_platform_list(capsys):
+    assert main(["platform", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "* ivybridge-2x10" in out  # default marked
+    assert "epyc-2x64" in out and "desktop-1x8" in out
+
+
+def test_platform_show(capsys):
+    assert main(["platform", "show", "hybrid-4p8e"]) == 0
+    out = capsys.readouterr().out
+    assert "2 socket(s), 12 cores" in out
+    assert "socket#0/core#0" in out  # hwloc-style tree
+    assert "socket#1/core#7" in out
+
+
+def test_platform_show_file(capsys, tmp_path):
+    from repro.platform import get_platform, save_platform_file
+
+    path = save_platform_file(get_platform("desktop-1x8"), tmp_path / "node.toml")
+    assert main(["platform", "show", str(path)]) == 0
+    assert "desktop-1x8" in capsys.readouterr().out
+
+
+def test_platform_show_unknown(capsys):
+    assert main(["platform", "show", "vax-11"]) == 2
+    assert "unknown platform" in capsys.readouterr().err
+
+
+def test_run_on_non_default_platform(capsys):
+    code = main(["run", "fib", "--cores", "2", "--param", "n=10", "--platform", "epyc-2x64"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "verified=True" in out
+
+
+def test_run_platform_changes_the_simulation(capsys):
+    def exec_ms(argv):
+        assert main(argv) == 0
+        line = capsys.readouterr().out.splitlines()[0]
+        return float(line.split(": ")[1].split(" ms")[0])
+
+    argv = ["run", "fib", "--cores", "4", "--param", "n=16", "--no-counters"]
+    assert exec_ms(argv) != exec_ms(argv + ["--platform", "desktop-1x8"])
