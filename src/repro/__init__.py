@@ -13,6 +13,9 @@ The package provides:
 - :mod:`repro.counters` — the paper's contribution: an HPX-style
   performance-counter framework (name grammar, discovery, evaluate /
   reset, periodic query).
+- :mod:`repro.telemetry` — the streaming sample pipeline every counter
+  reading flows through: record model, bounded buffering, pluggable
+  sinks (CSV, JSON lines, Chrome trace).
 - :mod:`repro.papi` — simulated hardware event counters (offcore
   requests, cycles, instructions) fed by the machine model.
 - :mod:`repro.inncabs` — all fourteen Inncabs benchmarks written against
@@ -32,13 +35,14 @@ Quickstart::
 """
 
 from repro._version import __version__
-from repro.api import Session
+from repro.api import Session, TelemetryConfig
 from repro.experiments.runner import RunResult
 from repro.inncabs.suite import available_benchmarks, get_benchmark
 
 __all__ = [
     "__version__",
     "Session",
+    "TelemetryConfig",
     "RunResult",
     "available_benchmarks",
     "get_benchmark",

@@ -26,7 +26,6 @@ from dataclasses import replace
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.counters.base import CounterEnvironment
-from repro.counters.manager import ActiveCounters
 from repro.counters.registry import build_default_registry
 from repro.exec.errors import DeadlockError
 from repro.experiments.config import DEFAULT_COUNTERS, ExperimentConfig
@@ -42,8 +41,9 @@ from repro.runtime.config import HpxParams
 from repro.runtime.scheduler import HpxRuntime
 from repro.simcore.events import Engine
 from repro.simcore.machine import Machine, MachineSpec
+from repro.telemetry.pipeline import DEFAULT_BUFFER_LIMIT, TelemetryConfig, TelemetryPipeline
 
-__all__ = ["Session", "RunResult"]
+__all__ = ["Session", "RunResult", "TelemetryConfig"]
 
 #: Accepted runtime names.  ``"kernel"`` is an alias for the
 #: ``std::async`` thread-per-task model (it runs on kernel threads).
@@ -80,6 +80,10 @@ class Session:
         each run.  Defaults to :class:`repro.simcore.events.Engine`;
         ``repro bench-core`` passes the legacy-heap engine here to run
         both cores side by side.
+    telemetry:
+        Default :class:`~repro.telemetry.pipeline.TelemetryConfig` for
+        every :meth:`run`: counter set, periodic sampling interval,
+        sinks and buffering.  Overridable per run.
     """
 
     def __init__(
@@ -93,6 +97,7 @@ class Session:
         std_params: StdParams | None = None,
         config: ExperimentConfig | None = None,
         engine_factory: Callable[[], Any] | None = None,
+        telemetry: TelemetryConfig | None = None,
     ) -> None:
         canonical = _RUNTIME_ALIASES.get(runtime)
         if canonical is None:
@@ -116,6 +121,7 @@ class Session:
             overrides["std"] = std_params
         self.config = replace(base, **overrides) if overrides else base
         self.engine_factory: Callable[[], Any] = engine_factory or Engine
+        self.telemetry = telemetry
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Session(runtime={self.runtime!r}, cores={self.cores})"
@@ -133,6 +139,7 @@ class Session:
         keep_result: bool = False,
         query_interval_ns: int | None = None,
         query_sink: Any = None,
+        telemetry: TelemetryConfig | None = None,
     ) -> RunResult:
         """Run one benchmark to completion; returns a :class:`RunResult`.
 
@@ -143,8 +150,17 @@ class Session:
         (the Section V-C overhead experiment measures exactly this
         difference); ``query_interval_ns`` additionally samples the
         active counters on a fixed in-band interval during the run.
+
+        Every counter reading flows through one
+        :class:`~repro.telemetry.pipeline.TelemetryPipeline`
+        (``telemetry=`` overrides the session's default config): the
+        result carries the full sample frame as ``result.telemetry``
+        and its final totals as the legacy ``result.counters`` dict,
+        and configured sinks (CSV, JSONL, Chrome-trace, ...) stream
+        every sample as it is recorded.
         """
         config = self.config
+        tele = telemetry if telemetry is not None else self.telemetry
         ncores = self.cores if cores is None else cores
         bench = get_benchmark(benchmark)
         merged = bench.params_with_defaults(params)
@@ -168,29 +184,45 @@ class Session:
         else:
             rt = StdRuntime(engine, machine, num_workers=ncores, params=config.std)
 
-        active: ActiveCounters | None = None
+        pipeline: TelemetryPipeline | None = None
         query = None
+        interval_ns = query_interval_ns
+        if interval_ns is None and tele is not None:
+            interval_ns = tele.interval_ns
         if collect_counters:
             env = CounterEnvironment(
                 engine=engine, runtime=rt, machine=machine, papi=PapiSubstrate(machine)
             )
             registry = build_default_registry(env)
-            active = ActiveCounters(registry, counters or DEFAULT_COUNTERS)
-            active.start()
-            active.reset_active_counters()
-            if query_interval_ns is not None:
+            specs = counters
+            if specs is None and tele is not None:
+                specs = tele.counters
+            pipeline = TelemetryPipeline(
+                registry,
+                specs or DEFAULT_COUNTERS,
+                run_id=(
+                    tele.run_id
+                    if tele is not None and tele.run_id
+                    else f"{benchmark}/{self.runtime}/c{ncores}"
+                ),
+                sinks=tele.sinks if tele is not None else (),
+                buffer_limit=tele.buffer_limit if tele is not None else DEFAULT_BUFFER_LIMIT,
+            )
+            pipeline.start()
+            pipeline.reset()
+            if interval_ns is not None:
                 from repro.counters.query import PeriodicQuery
 
                 query = PeriodicQuery(
-                    active,
+                    pipeline,
                     engine=engine,
                     runtime=rt,
-                    interval_ns=query_interval_ns,
+                    interval_ns=interval_ns,
                     sink=query_sink,
-                    in_band=True,
+                    in_band=tele.in_band if tele is not None else True,
                 )
                 query.start()
-        elif query_interval_ns is not None:
+        elif interval_ns is not None:
             raise ValueError("periodic queries need collect_counters=True")
 
         future = rt.submit(root_fn, *root_args)
@@ -203,14 +235,21 @@ class Session:
             out.abort_reason = rt.abort_reason
             out.exec_time_ns = engine.now
             out.engine_events = engine.events_processed
+            if pipeline is not None:
+                out.telemetry = pipeline.frame  # periodic samples up to the abort
+                pipeline.stop()
+                pipeline.close()
             return out
         if not future.is_ready:
             raise DeadlockError(rt.describe_stall())
         result = future.value()
         out.exec_time_ns = engine.now
-        if active is not None:
-            values = active.evaluate_active_counters(reset=True)
+        if pipeline is not None:
+            values = pipeline.sample(reset=True)
             out.counters = {v.name: v.value for v in values}
+            out.telemetry = pipeline.frame
+            pipeline.stop()
+            pipeline.close()
         if query is not None:
             out.query_samples = query.samples
 

@@ -8,7 +8,9 @@ One file per campaign under ``results/campaigns/``:
 - ``spec`` — the full :class:`~repro.campaign.spec.CampaignSpec`;
 - ``cells`` — every (benchmark, runtime, cores, sample) run with its
   cache key and the per-run :class:`~repro.experiments.runner.RunResult`
-  fields;
+  fields; counter readings are stored as the run's full telemetry
+  sample stream (``telemetry`` rows, schema 2) rather than a final
+  totals dict;
 - ``points`` — per (benchmark, runtime, cores) aggregates (medians,
   abort status) — the exact data behind the paper's figures and tables.
 
@@ -30,18 +32,25 @@ from repro._version import __version__
 from repro.campaign.spec import CampaignSpec, Cell, canonical_json
 from repro.experiments.harness import ScalingCurve, aggregate_point
 from repro.experiments.runner import RunResult
+from repro.telemetry.frame import TelemetryFrame
 
 #: Artifact format version; bump on breaking layout changes.
-ARTIFACT_SCHEMA = 1
+#: Schema 2: cells persist the full telemetry sample stream
+#: (``telemetry`` rows) instead of the final ``counters`` dict; schema-1
+#: files still load (their counter dicts are adapted into one-shot
+#: frames).
+ARTIFACT_SCHEMA = 2
 
 #: RunResult fields persisted per cell (result/query_samples are not
-#: serializable and are deliberately dropped).
+#: serializable and are deliberately dropped).  ``telemetry`` is stored
+#: as sample rows; the legacy ``counters`` dict is derived from it on
+#: load.
 RESULT_FIELDS = (
     "aborted",
     "abort_reason",
     "exec_time_ns",
     "verified",
-    "counters",
+    "telemetry",
     "tasks_executed",
     "tasks_created",
     "peak_live_tasks",
@@ -52,13 +61,36 @@ RESULT_FIELDS = (
 
 def run_result_to_dict(result: RunResult) -> dict[str, Any]:
     """The persisted subset of a :class:`RunResult`."""
-    return {name: getattr(result, name) for name in RESULT_FIELDS}
+    data: dict[str, Any] = {}
+    for name in RESULT_FIELDS:
+        if name == "telemetry":
+            frame = result.telemetry
+            if frame is None and result.counters:
+                frame = TelemetryFrame.from_counters(
+                    result.counters, timestamp_ns=result.exec_time_ns
+                )
+            data["telemetry"] = frame.to_rows() if frame is not None else []
+        else:
+            data[name] = getattr(result, name)
+    return data
 
 
 def run_result_from_dict(cell: Cell, data: Mapping[str, Any]) -> RunResult:
-    """Rebuild a :class:`RunResult` from its persisted form."""
-    fields = {name: data[name] for name in RESULT_FIELDS}
-    fields["counters"] = dict(fields["counters"])
+    """Rebuild a :class:`RunResult` from its persisted form.
+
+    Accepts both layouts: schema-2 dicts carry ``telemetry`` sample
+    rows; legacy schema-1 dicts carry only the final ``counters`` dict,
+    which is adapted into a one-shot frame.
+    """
+    fields = {name: data[name] for name in RESULT_FIELDS if name != "telemetry"}
+    if "telemetry" in data:
+        frame = TelemetryFrame.from_rows(data["telemetry"])
+    else:  # legacy schema-1 cell
+        frame = TelemetryFrame.from_counters(
+            dict(data["counters"]), timestamp_ns=int(data.get("exec_time_ns", 0))
+        )
+    fields["telemetry"] = frame if len(frame) else None
+    fields["counters"] = frame.totals()
     return RunResult(benchmark=cell.benchmark, runtime=cell.runtime, cores=cell.cores, **fields)
 
 
@@ -210,9 +242,9 @@ class CampaignArtifact:
         if data.get("kind") != "repro-campaign":
             raise ValueError("not a campaign artifact (missing kind=repro-campaign)")
         schema = data.get("schema")
-        if schema != ARTIFACT_SCHEMA:
+        if schema not in (1, ARTIFACT_SCHEMA):
             raise ValueError(
-                f"unsupported artifact schema {schema!r}; this build reads {ARTIFACT_SCHEMA}"
+                f"unsupported artifact schema {schema!r}; this build reads 1..{ARTIFACT_SCHEMA}"
             )
         return cls(
             spec=CampaignSpec.from_json_dict(data["spec"]),

@@ -19,7 +19,8 @@ from pathlib import Path
 from typing import Any
 
 #: Bump when the cached payload layout changes.
-CACHE_PAYLOAD_SCHEMA = 1
+#: 2: cell results carry telemetry sample rows instead of a counters dict.
+CACHE_PAYLOAD_SCHEMA = 2
 
 DEFAULT_CACHE_DIR = Path("results") / "campaigns" / "cache"
 

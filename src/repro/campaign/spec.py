@@ -33,7 +33,9 @@ from repro.runtime.config import HpxParams
 from repro.simcore.machine import MachineSpec
 
 #: Bump to invalidate every cached cell (cache layout / semantics change).
-CACHE_KEY_VERSION = 3  # v3: the platform spec is part of every key
+#: v4: payloads carry telemetry sample rows; platform specs grew
+#: ``counter_query_cost_ns``.
+CACHE_KEY_VERSION = 4
 
 RUNTIMES = ("hpx", "std")
 

@@ -7,6 +7,9 @@ periodically query specific counters"):
 
 - ``repro list-benchmarks`` — the Inncabs suite;
 - ``repro list-counters [--pattern ...]`` — counter-type discovery;
+- ``repro counters list|query`` — the telemetry front door: list the
+  counter types, or run a benchmark and stream every sample (wildcards
+  expanded) as CSV or JSON lines;
 - ``repro run BENCH --runtime hpx --cores 8 --print-counter NAME ...``
   — one run with counters printed CSV-style;
 - ``repro table1`` / ``repro table5`` — regenerate the paper's tables;
@@ -99,6 +102,45 @@ def cmd_list_counters(args: argparse.Namespace) -> int:
                 object_name, counter = info.type_name[1:].split("/", 1)
                 print(f"      /{object_name}{{locality#0/{inst_name}{suffix}}}/{counter}")
     return 0
+
+
+def cmd_counters_query(args: argparse.Namespace) -> int:
+    from repro.inncabs.presets import preset_params
+    from repro.telemetry import CsvSink, JsonLinesSink, TelemetryConfig
+
+    params = preset_params(args.benchmark, args.preset)
+    params.update(_parse_params(args.param))
+    specs = tuple(args.specs) if args.specs else DEFAULT_COUNTERS
+    # A path destination is owned by the sink (the pipeline closes it
+    # when the run finishes); stdout is borrowed and only flushed.
+    dest: Any = args.out if args.out else sys.stdout
+    sink = (CsvSink if args.format == "csv" else JsonLinesSink)(dest)
+    session = Session(runtime=args.runtime, cores=args.cores, platform=args.platform)
+    try:
+        result = session.run(
+            args.benchmark,
+            params=params,
+            telemetry=TelemetryConfig(
+                counters=specs,
+                interval_ns=None if args.interval is None else round(args.interval * 1e6),
+                sinks=(sink,),
+            ),
+        )
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if result.aborted:
+        print(f"{args.benchmark} [{args.runtime}]: ABORT: {result.abort_reason}", file=sys.stderr)
+        return 1
+    frame = result.telemetry
+    print(
+        f"{args.benchmark} [{args.runtime}, {args.cores} cores]: "
+        f"{result.exec_time_ms:.3f} ms, {len(frame)} samples over "
+        f"{len(frame.names())} counters"
+        + (f" -> {args.out}" if args.out else ""),
+        file=sys.stderr,
+    )
+    return 0 if result.verified else 1
 
 
 def cmd_platform_list(_args: argparse.Namespace) -> int:
@@ -377,6 +419,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cores", type=int, default=4)
     p.add_argument("--verbose", action="store_true", help="show help text and instances")
     p.set_defaults(fn=cmd_list_counters)
+
+    p = sub.add_parser("counters", help="telemetry front door: list counter types, stream samples")
+    counters_sub = p.add_subparsers(dest="counters_command", required=True)
+    pc = counters_sub.add_parser("list", help="list available counter types")
+    pc.add_argument("--pattern", default=None, help="glob over type names")
+    pc.add_argument("--cores", type=int, default=4)
+    pc.add_argument("--verbose", action="store_true", help="show help text and instances")
+    pc.set_defaults(fn=cmd_list_counters)
+    pc = counters_sub.add_parser(
+        "query", help="run a benchmark and stream every counter sample (CSV or JSON lines)"
+    )
+    pc.add_argument(
+        "specs",
+        nargs="*",
+        metavar="COUNTER",
+        help="counter-name specs; '#*' wildcards are expanded at discovery "
+        "(default: the paper's counter set)",
+    )
+    pc.add_argument("--benchmark", default="fib", choices=available_benchmarks())
+    pc.add_argument("--runtime", choices=("hpx", "std"), default="hpx")
+    pc.add_argument("--cores", type=int, default=4)
+    pc.add_argument(
+        "--platform",
+        default=None,
+        metavar="NAME|FILE",
+        help="simulated node: preset name or platform file (default: ivybridge-2x10)",
+    )
+    pc.add_argument("--preset", choices=("small", "default", "large"), default="default")
+    pc.add_argument("--param", action="append", default=[], metavar="KEY=VALUE")
+    pc.add_argument(
+        "--interval",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="also sample every MS of simulated time, in-band "
+        "(default: one evaluation at termination)",
+    )
+    pc.add_argument("--format", choices=("csv", "jsonl"), default="csv")
+    pc.add_argument(
+        "--out", default=None, metavar="FILE", help="write the stream to FILE (default: stdout)"
+    )
+    pc.set_defaults(fn=cmd_counters_query)
 
     p = sub.add_parser("platform", help="inspect the available platform presets")
     platform_sub = p.add_subparsers(dest="platform_command", required=True)

@@ -78,6 +78,11 @@ class CounterName:
     def has_wildcard(self) -> bool:
         return self.instance_is_wildcard or self.parent_index is None
 
+    @classmethod
+    def parse(cls, text: str) -> "CounterName":
+        """Parse a counter-name string (alias of :func:`parse_counter_name`)."""
+        return parse_counter_name(text)
+
     def with_instance(self, instance_name: str, instance_index: int | None) -> "CounterName":
         """Concrete copy for one discovered instance."""
         return replace(

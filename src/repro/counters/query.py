@@ -1,31 +1,73 @@
-"""Periodic counter querying — the command-line convenience layer.
+"""Periodic counter querying — the in-band sampling driver.
 
 Reproduces ``--hpx:print-counter <name> --hpx:print-counter-interval
-<ms>``: the named counters are sampled on a fixed simulated interval
-and the rows handed to a sink (print, CSV file, list, ...).
+<ms>``: the named counters are sampled on a fixed simulated interval.
+Since the telemetry refactor this class is a thin *cadence driver*: it
+owns only the timer chain and the in-band query task; evaluation,
+record conversion, buffering and export belong to the
+:class:`~repro.telemetry.pipeline.TelemetryPipeline` it drives.
 
 Queries can run *in-band*: each sample executes as an HPX task that
 consumes scheduler time proportional to the number of counters queried,
 perturbing the application exactly like a real self-monitoring run.
-This is what the counter-overhead experiment measures.
+The per-counter cost is a property of the node
+(:attr:`repro.platform.spec.PlatformSpec.counter_query_cost_ns`), so
+counter-overhead experiments scale with the platform being simulated.
 """
 
 from __future__ import annotations
 
+import inspect
 from typing import Any, Callable
 
 from repro.counters.manager import ActiveCounters
 from repro.counters.types import CounterValue
+from repro.platform.spec import DEFAULT_COUNTER_QUERY_COST_NS
 
-# Cost of evaluating one counter through the (simulated) counter API
-# from an in-band query task.
-QUERY_COST_PER_COUNTER_NS = 800
+#: Per-counter in-band query cost on the reference (Table III) node.
+#: Kept for backwards compatibility; the live value comes from the
+#: platform spec of the runtime being queried.
+QUERY_COST_PER_COUNTER_NS = DEFAULT_COUNTER_QUERY_COST_NS
 
 Sink = Callable[[list[CounterValue]], None]
 
 
+def _validate_sink(sink: Any) -> Sink | None:
+    """Check *sink* is callable with one positional argument.
+
+    Raises a clear ``TypeError`` at construction instead of a confusing
+    failure at the first sample, long into a simulated run.
+    """
+    if sink is None:
+        return None
+    if not callable(sink):
+        raise TypeError(
+            f"sink must be callable with one argument (the list of CounterValue "
+            f"rows), got {type(sink).__name__}: {sink!r}"
+        )
+    try:
+        signature = inspect.signature(sink)
+    except (TypeError, ValueError):  # C callables without introspection
+        return sink
+    try:
+        signature.bind([])
+    except TypeError:
+        raise TypeError(
+            f"sink {sink!r} must accept one positional argument "
+            "(the list of CounterValue rows); its signature is "
+            f"{signature}"
+        ) from None
+    return sink
+
+
 class PeriodicQuery:
-    """Sample an :class:`ActiveCounters` set every *interval_ns*.
+    """Sample a counter set every *interval_ns*.
+
+    The first argument is either an :class:`ActiveCounters` set (the
+    historical form) or a
+    :class:`~repro.telemetry.pipeline.TelemetryPipeline`, in which case
+    every sample is recorded through the pipeline (frame + sinks) as
+    well as kept on :attr:`samples`.
 
     With ``in_band=True`` (default) each sample is executed as a task on
     the runtime; with ``in_band=False`` sampling is free (an external
@@ -35,7 +77,7 @@ class PeriodicQuery:
 
     def __init__(
         self,
-        active: ActiveCounters,
+        active: Any,
         *,
         engine: Any,
         runtime: Any = None,
@@ -43,17 +85,43 @@ class PeriodicQuery:
         sink: Sink | None = None,
         in_band: bool = True,
         reset_each_sample: bool = False,
+        cost_per_counter_ns: int | None = None,
     ) -> None:
         if interval_ns <= 0:
             raise ValueError("interval_ns must be positive")
-        self.active = active
+        # A TelemetryPipeline exposes the resolved counter set plus
+        # sample recording; a bare ActiveCounters is driven directly.
+        if isinstance(active, ActiveCounters):
+            self.pipeline = None
+            self.active = active
+        elif hasattr(active, "sample") and isinstance(
+            getattr(active, "active", None), ActiveCounters
+        ):
+            self.pipeline = active
+            self.active = active.active
+        else:
+            raise TypeError(
+                "PeriodicQuery needs an ActiveCounters set or a TelemetryPipeline, "
+                f"got {type(active).__name__}"
+            )
         self.engine = engine
         self.runtime = runtime
         self.interval_ns = interval_ns
         self.samples: list[list[CounterValue]] = []
-        self.sink = sink
+        self.sink = _validate_sink(sink)
         self.in_band = in_band
         self.reset_each_sample = reset_each_sample
+        if cost_per_counter_ns is None:
+            # The per-counter query cost is platform-derived: faster
+            # single-thread nodes walk the counter API proportionally
+            # faster (DEFAULT on the paper's Table III node).
+            platform = getattr(getattr(runtime, "machine", None), "platform", None)
+            cost_per_counter_ns = getattr(
+                platform, "counter_query_cost_ns", DEFAULT_COUNTER_QUERY_COST_NS
+            )
+        if cost_per_counter_ns < 1:
+            raise ValueError("cost_per_counter_ns must be >= 1")
+        self.cost_per_counter_ns = cost_per_counter_ns
         self._running = False
         # Sampling epoch: bumped on every start().  Ticks and in-band
         # query tasks carry the epoch they were armed under, so a tick
@@ -110,7 +178,7 @@ class PeriodicQuery:
 
     def _query_task(self, ctx: Any, epoch: int) -> Any:
         """The in-band query: an HPX task costing time per counter."""
-        cost = QUERY_COST_PER_COUNTER_NS * len(self.active)
+        cost = self.cost_per_counter_ns * len(self.active)
         yield ctx.compute(cost)
         if not self._running or epoch != self._epoch:
             return None  # stopped while the query task was in flight
@@ -122,7 +190,10 @@ class PeriodicQuery:
         return None
 
     def _record(self) -> None:
-        values = self.active.evaluate_active_counters(reset=self.reset_each_sample)
+        if self.pipeline is not None:
+            values = self.pipeline.sample(reset=self.reset_each_sample)
+        else:
+            values = self.active.evaluate_active_counters(reset=self.reset_each_sample)
         self.samples.append(values)
         if self.sink is not None:
             self.sink(values)

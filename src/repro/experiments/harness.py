@@ -35,6 +35,9 @@ class ScalingPoint:
     median_exec_ns: float = 0.0
     exec_samples: tuple[int, ...] = ()
     counters: dict[str, float] = field(default_factory=dict)  # medians
+    # Median counter values as a telemetry frame (same numbers as
+    # ``counters``, plus units) when the runs carried frames.
+    telemetry: Any = None
     tasks_executed: int = 0
     peak_live_tasks: int = 0
     offcore_bytes: int = 0
@@ -107,10 +110,25 @@ def aggregate_point(cores: int, runs: Sequence[RunResult]) -> ScalingPoint:
         point.exec_samples = tuple(times)
         point.tasks_executed = runs[0].tasks_executed
         point.offcore_bytes = round(statistics.median([r.offcore_bytes for r in runs]))
-        names = runs[0].counters.keys()
-        point.counters = {
-            name: statistics.median([r.counters[name] for r in runs]) for name in names
-        }
+        # Per-run totals come off the telemetry frame when the run
+        # carried one (a frame's totals are its last sample per name —
+        # identical to the legacy ``counters`` dict), else the dict.
+        totals = [
+            r.telemetry.totals() if getattr(r, "telemetry", None) is not None else r.counters
+            for r in runs
+        ]
+        names = totals[0].keys()
+        point.counters = {name: statistics.median([t[name] for t in totals]) for name in names}
+        first = getattr(runs[0], "telemetry", None)
+        if first is not None and point.counters:
+            from repro.telemetry.frame import TelemetryFrame
+
+            point.telemetry = TelemetryFrame.from_counters(
+                point.counters,
+                timestamp_ns=round(point.median_exec_ns),
+                units=first.units(),
+                run_id=f"{runs[0].benchmark}/{runs[0].runtime}/c{cores}/median",
+            )
     return point
 
 

@@ -2,8 +2,8 @@
 
 Each function maps a :class:`~repro.experiments.runner.RunResult` or a
 :class:`~repro.experiments.harness.ScalingPoint` (anything carrying a
-``counters`` dict and an execution time) to one number, exactly as the
-paper defines it:
+telemetry frame or a ``counters`` dict, plus an execution time) to one
+number, exactly as the paper defines it:
 
 - **Task Duration** — ``/threads/time/average``;
 - **Task Overhead** — ``/threads/time/average-overhead``;
@@ -28,6 +28,11 @@ IDLE_RATE = "/threads{locality#0/total}/idle-rate"
 
 
 def _counters(run: Any) -> dict[str, float]:
+    telemetry = getattr(run, "telemetry", None)
+    if telemetry is not None:
+        totals = telemetry.totals()
+        if totals:
+            return totals
     counters = getattr(run, "counters", None)
     if not counters:
         raise ValueError("no counters on this result — run with collect_counters=True")
@@ -37,7 +42,7 @@ def _counters(run: Any) -> dict[str, float]:
 def _exec_time_ns(run: Any) -> float:
     for attr in ("exec_time_ns", "median_exec_ns"):
         value = getattr(run, attr, None)
-        if value:
+        if value is not None:
             return float(value)
     raise ValueError("result carries no execution time")
 

@@ -26,6 +26,10 @@ class RunResult:
     verified: bool = False
     result: Any = None
     counters: dict[str, float] = field(default_factory=dict)
+    # The run's telemetry frame: every sample recorded through the
+    # pipeline (periodic rows plus the final evaluation).  ``counters``
+    # is its final-totals view, kept for the legacy dict consumers.
+    telemetry: Any = None  # repro.telemetry.frame.TelemetryFrame | None
     # Periodic in-band samples (lists of CounterValue) when a
     # query_interval_ns was requested.
     query_samples: list = field(default_factory=list)

@@ -24,7 +24,7 @@ from __future__ import annotations
 import os
 from typing import Any
 
-from repro.platform.spec import PlatformError, PlatformSpec, SocketSpec
+from repro.platform.spec import PlatformError, PlatformSpec, SocketSpec, scaled_query_cost_ns
 
 #: Name of the paper's Table III node — the default platform.
 DEFAULT_PLATFORM = "ivybridge-2x10"
@@ -59,6 +59,7 @@ def _desktop_1x8() -> PlatformSpec:
         ipc=2.2,
         l3_pressure_alpha=0.45,
         l3_max_factor=2.5,
+        counter_query_cost_ns=scaled_query_cost_ns(3.6, 2.2),
     )
 
 
@@ -76,6 +77,7 @@ def _epyc_2x64() -> PlatformSpec:
         ipc=2.0,
         l3_pressure_alpha=0.30,
         l3_max_factor=3.0,
+        counter_query_cost_ns=scaled_query_cost_ns(2.25, 2.0),
     )
 
 
@@ -91,6 +93,7 @@ def _grace_1x72() -> PlatformSpec:
         ipc=2.4,
         l3_pressure_alpha=0.25,
         l3_max_factor=2.0,
+        counter_query_cost_ns=scaled_query_cost_ns(3.1, 2.4),
     )
 
 
@@ -107,6 +110,9 @@ def _hybrid_4p8e() -> PlatformSpec:
         ipc=1.8,
         l3_pressure_alpha=0.5,
         l3_max_factor=2.5,
+        # Query tasks run on whichever core picks them up; scale by the
+        # efficiency cores (the conservative bound on a hybrid part).
+        counter_query_cost_ns=scaled_query_cost_ns(2.4, 1.8),
     )
 
 

@@ -34,6 +34,26 @@ class PlatformError(ValueError):
     """A platform description failed validation."""
 
 
+#: In-band cost of evaluating one counter through the (simulated)
+#: counter API, on the paper's Table III node.  Platforms scale this
+#: with their single-thread speed via :func:`scaled_query_cost_ns`.
+DEFAULT_COUNTER_QUERY_COST_NS = 800
+
+#: Single-thread throughput (GHz x IPC) of the reference node the
+#: 800 ns query cost was calibrated on.
+_REFERENCE_QUERY_THROUGHPUT = 2.5 * 1.6
+
+
+def scaled_query_cost_ns(freq_ghz: float, ipc: float) -> int:
+    """Per-counter query cost scaled to a platform's single-thread speed.
+
+    The counter API walk is serial scalar code, so its cost shrinks
+    with clock x IPC relative to the reference Ivy Bridge node (where
+    it is exactly :data:`DEFAULT_COUNTER_QUERY_COST_NS`).
+    """
+    return round(DEFAULT_COUNTER_QUERY_COST_NS * _REFERENCE_QUERY_THROUGHPUT / (freq_ghz * ipc))
+
+
 @dataclass(frozen=True)
 class SocketSpec:
     """One socket: cores, clock, shared cache, memory controller."""
@@ -83,6 +103,7 @@ _PLATFORM_OPTIONAL = (
     "ipc",
     "l3_pressure_alpha",
     "l3_max_factor",
+    "counter_query_cost_ns",
     "papi_events",
 )
 
@@ -121,6 +142,10 @@ class PlatformSpec:
     ipc: float = 1.6  # retired instructions per cycle (counter model)
     l3_pressure_alpha: float = 0.35  # extra-traffic slope once L3 overflows
     l3_max_factor: float = 2.5  # cap on the L3 overflow inflation
+    #: In-band cost (ns) of evaluating one counter through the counter
+    #: API from a periodic query task; scales counter-overhead
+    #: experiments with the platform's single-thread speed.
+    counter_query_cost_ns: int = DEFAULT_COUNTER_QUERY_COST_NS
     #: Hardware events the platform's counter model exposes.
     papi_events: tuple[str, ...] = KNOWN_PAPI_EVENTS
 
@@ -147,6 +172,11 @@ class PlatformSpec:
             raise PlatformError(
                 f"platform {self.name!r}: l3_pressure_alpha must be >= 0 and "
                 "l3_max_factor >= 1"
+            )
+        if self.counter_query_cost_ns < 1:
+            raise PlatformError(
+                f"platform {self.name!r}: counter_query_cost_ns must be >= 1, "
+                f"got {self.counter_query_cost_ns}"
             )
         if self.numa_distance is not None:
             object.__setattr__(
@@ -263,6 +293,7 @@ class PlatformSpec:
             "ipc": self.ipc,
             "l3_pressure_alpha": self.l3_pressure_alpha,
             "l3_max_factor": self.l3_max_factor,
+            "counter_query_cost_ns": self.counter_query_cost_ns,
             "papi_events": list(self.papi_events),
         }
 

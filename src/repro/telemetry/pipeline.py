@@ -1,0 +1,185 @@
+"""The streaming telemetry pipeline.
+
+One :class:`TelemetryPipeline` per run owns the whole measurement
+export path the paper describes:
+
+- **counter-set resolution** — specs (including ``#*`` wildcard
+  instances and nested statistics counter names) are expanded through
+  the run's :class:`~repro.counters.registry.CounterRegistry` into one
+  concrete counter per stream;
+- **sampling** — ``sample()`` evaluates every resolved counter at the
+  current simulated instant and converts the readings into
+  :class:`~repro.telemetry.sample.Sample` records (cadence is driven
+  by :class:`~repro.counters.query.PeriodicQuery` for in-band interval
+  sampling, or by a single end-of-run call);
+- **bounded buffering with drop accounting** — the in-memory frame
+  retains at most ``buffer_limit`` samples; overflow is *counted*
+  (``dropped``), never silent, while streaming sinks still receive
+  every record;
+- **pluggable sinks** — CSV, JSON-lines, Chrome-trace, in-memory
+  frames, or anything implementing ``emit(sample)`` / ``close()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.counters.manager import ActiveCounters
+from repro.counters.registry import CounterRegistry
+from repro.counters.types import CounterValue
+from repro.telemetry.frame import TelemetryFrame
+from repro.telemetry.sample import Sample
+from repro.telemetry.sinks import ensure_sink
+
+#: Samples retained in the in-memory frame before drop accounting kicks
+#: in.  Generous for interval sampling (a 0.1 ms cadence over a 100 ms
+#: run with the paper's 9-counter set is ~9000 samples) while bounding
+#: memory for adversarial cadences.
+DEFAULT_BUFFER_LIMIT = 65_536
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Declarative telemetry wiring for :class:`repro.api.Session`.
+
+    ``counters=None`` means the session's default set (the paper's
+    software + PAPI counters); ``interval_ns`` enables periodic
+    sampling during the run (in-band by default, i.e. each sample costs
+    simulated scheduler time); ``sinks`` receive every sample as it is
+    recorded.
+    """
+
+    counters: tuple[str, ...] | None = None
+    interval_ns: int | None = None
+    in_band: bool = True
+    sinks: tuple[Any, ...] = ()
+    buffer_limit: int = DEFAULT_BUFFER_LIMIT
+    run_id: str = ""
+
+    def __post_init__(self) -> None:
+        if self.interval_ns is not None and self.interval_ns <= 0:
+            raise ValueError("interval_ns must be positive when given")
+        if self.buffer_limit < 1:
+            raise ValueError("buffer_limit must be >= 1")
+        if self.counters is not None:
+            object.__setattr__(self, "counters", tuple(self.counters))
+        object.__setattr__(self, "sinks", tuple(self.sinks))
+        for sink in self.sinks:
+            ensure_sink(sink)
+
+
+class TelemetryPipeline:
+    """Resolved counter set + bounded buffer + sink fan-out for one run."""
+
+    def __init__(
+        self,
+        registry: CounterRegistry,
+        specs: Sequence[str],
+        *,
+        run_id: str = "",
+        sinks: Sequence[Any] = (),
+        buffer_limit: int = DEFAULT_BUFFER_LIMIT,
+        frame: TelemetryFrame | None = None,
+    ) -> None:
+        if buffer_limit < 1:
+            raise ValueError("buffer_limit must be >= 1")
+        self.sinks = [ensure_sink(sink) for sink in sinks]
+        # Counter-set resolution: ActiveCounters runs wildcard discovery
+        # and nested statistics/arithmetics construction on the registry.
+        self.active = ActiveCounters(registry, specs)
+        self.run_id = run_id
+        self.buffer_limit = buffer_limit
+        self.frame = frame if frame is not None else TelemetryFrame()
+        self.dropped = 0
+        self.samples_recorded = 0
+        # Per-counter static metadata, resolved once: canonical name,
+        # instance part, unit.  Evaluation order is the plan order.
+        self._plan = [
+            (str(c.name), c.name.full_instance, c.info.unit) for c in self.active.counters
+        ]
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.active)
+
+    def names(self) -> list[str]:
+        """Fully-resolved concrete counter names (wildcards expanded)."""
+        return [name for name, _, _ in self._plan]
+
+    # -- life cycle --------------------------------------------------------
+
+    def start(self) -> None:
+        """Activate counter instrumentation (charges the runtime)."""
+        self.active.start()
+
+    def stop(self) -> None:
+        self.active.stop()
+
+    def reset(self) -> None:
+        """Re-baseline every resolved counter (start of a sample window)."""
+        self.active.reset_active_counters()
+
+    def __enter__(self) -> "TelemetryPipeline":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+        self.close()
+
+    # -- sampling ----------------------------------------------------------
+
+    def sample(self, *, reset: bool = False) -> list[CounterValue]:
+        """Evaluate every counter now, record the readings, return them.
+
+        The returned :class:`CounterValue` list is exactly what
+        ``evaluate_active_counters`` produces, so counter values that
+        flow through the pipeline are bit-identical to the direct path.
+        """
+        values = self.active.evaluate_active_counters(reset=reset)
+        self.record(values)
+        return values
+
+    def record(self, values: Sequence[CounterValue]) -> list[Sample]:
+        """Convert one evaluation's readings into samples and route them.
+
+        ``values`` must be in plan order (the order ``sample()`` and
+        ``evaluate_active_counters`` produce).
+        """
+        if len(values) != len(self._plan):
+            raise ValueError(
+                f"expected {len(self._plan)} counter values (one per resolved "
+                f"counter), got {len(values)}"
+            )
+        batch = [
+            Sample(
+                name=name,
+                instance=instance,
+                timestamp_ns=value.time,
+                value=value.value,
+                unit=unit,
+                run_id=self.run_id,
+            )
+            for (name, instance, unit), value in zip(self._plan, values)
+        ]
+        self.samples_recorded += len(batch)
+        for sample in batch:
+            # Bounded retention: the frame never exceeds buffer_limit;
+            # overflow is accounted, and streaming sinks still get
+            # every record (they don't buffer).
+            if len(self.frame) < self.buffer_limit:
+                self.frame.emit(sample)
+            else:
+                self.dropped += 1
+            for sink in self.sinks:
+                sink.emit(sample)
+        return batch
+
+    # -- teardown ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every sink (owned files are flushed and closed)."""
+        for sink in self.sinks:
+            sink.close()

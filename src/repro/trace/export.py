@@ -2,20 +2,20 @@
 
 Converts a recorded event stream into the Trace Event Format understood
 by ``chrome://tracing`` / Perfetto: complete events per task activation
-on a per-worker timeline.
+on a per-worker timeline.  A telemetry frame can be folded in as
+counter (``"ph": "C"``) events, putting the sampled performance
+counters on the same timeline as the tasks that produced them.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any
+from typing import Any, Iterable
 
 from repro.trace.recorder import TaskEvent, TraceRecorder
 
 
-def to_chrome_trace(trace: TraceRecorder | list[TaskEvent]) -> str:
-    """JSON string in Chrome Trace Event Format (X complete events)."""
-    events = trace.events if isinstance(trace, TraceRecorder) else trace
+def _task_events(events: Iterable[TaskEvent]) -> list[dict[str, Any]]:
     out: list[dict[str, Any]] = []
     active: dict[int, TaskEvent] = {}
     for event in sorted(events, key=lambda e: (e.time_ns, e.tid)):
@@ -37,4 +37,47 @@ def to_chrome_trace(trace: TraceRecorder | list[TaskEvent]) -> str:
                     "args": {"task": event.tid},
                 }
             )
+    return out
+
+
+def _counter_events(telemetry: Any) -> list[dict[str, Any]]:
+    """Telemetry samples as Chrome counter ("C") events.
+
+    One counter track per counter name, sampled at the simulated
+    timestamps the pipeline recorded.
+    """
+    out: list[dict[str, Any]] = []
+    for sample in telemetry:
+        out.append(
+            {
+                "name": sample.name,
+                "cat": "counter",
+                "ph": "C",
+                "ts": sample.timestamp_ns / 1e3,
+                "pid": 0,
+                "args": {"value": sample.value},
+            }
+        )
+    return out
+
+
+def to_chrome_trace(
+    trace: TraceRecorder | list[TaskEvent] | None = None,
+    *,
+    telemetry: Any = None,
+) -> str:
+    """JSON string in Chrome Trace Event Format.
+
+    ``trace`` contributes "X" complete events (one per task
+    activation); ``telemetry`` — a
+    :class:`~repro.telemetry.frame.TelemetryFrame` or any iterable of
+    :class:`~repro.telemetry.sample.Sample` — contributes "C" counter
+    events.  Either side may be omitted.
+    """
+    out: list[dict[str, Any]] = []
+    if trace is not None:
+        events = trace.events if isinstance(trace, TraceRecorder) else trace
+        out.extend(_task_events(events))
+    if telemetry is not None:
+        out.extend(_counter_events(telemetry))
     return json.dumps({"traceEvents": out, "displayTimeUnit": "ms"})

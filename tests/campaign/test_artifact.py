@@ -61,3 +61,46 @@ def test_curves_match_serial_harness(small_spec, small_run):
 def test_curve_lookup_error_lists_contents(small_run):
     with pytest.raises(KeyError, match="fib/hpx"):
         small_run.artifact.curve("strassen", "hpx")
+
+
+def test_cells_persist_telemetry_rows(small_run):
+    """Schema 2: cells carry the full sample stream, not a totals dict."""
+    data = small_run.artifact.to_json_dict()
+    assert data["schema"] == 2
+    cell = next(c for c in data["cells"] if not c["result"]["aborted"])
+    assert "counters" not in cell["result"]
+    rows = cell["result"]["telemetry"]
+    assert rows and all(
+        {"name", "instance", "timestamp_ns", "value", "unit", "run_id"} == set(row)
+        for row in rows
+    )
+
+
+def test_run_result_round_trips_through_telemetry_rows(small_run):
+    """Serialize -> deserialize preserves both frame and totals view."""
+    cr = next(c for c in small_run.artifact.cells if not c.result["aborted"])
+    restored = cr.run_result()
+    assert restored.telemetry is not None
+    assert restored.counters == restored.telemetry.totals()
+    from repro.campaign.artifact import run_result_to_dict
+
+    assert run_result_to_dict(restored) == dict(cr.result)
+
+
+def test_legacy_schema1_artifact_still_loads(small_run):
+    """Pre-telemetry artifacts (schema 1, counters dicts) load: counter
+    dicts are adapted into one-shot frames with identical totals."""
+    data = small_run.artifact.to_json_dict()
+    data["schema"] = 1
+    for cell in data["cells"]:
+        rows = cell["result"].pop("telemetry")
+        cell["result"]["counters"] = {row["name"]: row["value"] for row in rows}
+    legacy = CampaignArtifact.from_json_dict(data)
+    for old, new in zip(small_run.artifact.cells, legacy.cells):
+        assert old.run_result().counters == new.run_result().counters
+    # Aggregation over the adapted cells matches the native artifact.
+    native = small_run.artifact.curve("fib", "hpx")
+    adapted = legacy.curve("fib", "hpx")
+    for mine, theirs in zip(native.points, adapted.points):
+        assert mine.counters == theirs.counters
+        assert mine.median_exec_ns == theirs.median_exec_ns

@@ -107,8 +107,8 @@ def test_counter_threshold_gates_when_configured(small_run):
     data = copy.deepcopy(small_run.artifact.to_json_dict())
     for cell in data["cells"]:
         if (cell["benchmark"], cell["runtime"], cell["cores"]) == ("fib", "hpx", 1):
-            for name in cell["result"]["counters"]:
-                cell["result"]["counters"][name] *= 2.0
+            for row in cell["result"]["telemetry"]:
+                row["value"] *= 2.0
     drifted = CampaignArtifact.from_json_dict(data)
     lax = compare_artifacts(small_run.artifact, drifted, CompareThresholds(exec_time=0.10))
     assert lax.ok  # counters are reported but not gated by default

@@ -247,3 +247,79 @@ def test_periodic_query_sink(registry, hpx4, engine):
     query.start()
     hpx4.run_to_completion(fib_body, 12)
     assert seen == query.samples
+
+
+def test_periodic_query_rejects_non_callable_sink(registry, hpx4, engine):
+    """Satellite fix: a bad sink fails at construction, not mid-run."""
+    ac = ActiveCounters(registry, ["/runtime/uptime"])
+    with pytest.raises(TypeError, match="callable"):
+        PeriodicQuery(ac, engine=engine, runtime=hpx4, interval_ns=us(10), sink=42)
+
+
+def test_periodic_query_rejects_wrong_arity_sink(registry, hpx4, engine):
+    ac = ActiveCounters(registry, ["/runtime/uptime"])
+
+    def two_arg_sink(values, extra):
+        pass
+
+    with pytest.raises(TypeError, match="one positional argument"):
+        PeriodicQuery(ac, engine=engine, runtime=hpx4, interval_ns=us(10), sink=two_arg_sink)
+
+    def no_arg_sink():
+        pass
+
+    with pytest.raises(TypeError, match="one positional argument"):
+        PeriodicQuery(ac, engine=engine, runtime=hpx4, interval_ns=us(10), sink=no_arg_sink)
+
+
+def test_periodic_query_rejects_wrong_first_argument(registry, hpx4, engine):
+    with pytest.raises(TypeError, match="ActiveCounters.*TelemetryPipeline"):
+        PeriodicQuery(["/runtime/uptime"], engine=engine, runtime=hpx4, interval_ns=us(10))
+
+
+def test_query_cost_comes_from_platform_spec(registry, engine):
+    """The per-counter in-band query cost is platform-derived."""
+    from repro.platform.presets import get_platform
+    from repro.platform.spec import DEFAULT_COUNTER_QUERY_COST_NS
+    from repro.runtime.scheduler import HpxRuntime
+    from repro.simcore.events import Engine
+    from repro.simcore.machine import Machine
+
+    spec = get_platform("desktop-1x8")
+    assert spec.counter_query_cost_ns != DEFAULT_COUNTER_QUERY_COST_NS
+    fast_engine = Engine()
+    fast_rt = HpxRuntime(fast_engine, Machine(spec), num_workers=2)
+    ac = ActiveCounters(registry, ["/runtime/uptime"])
+    query = PeriodicQuery(ac, engine=fast_engine, runtime=fast_rt, interval_ns=us(10))
+    assert query.cost_per_counter_ns == spec.counter_query_cost_ns
+    # An explicit override still wins.
+    query = PeriodicQuery(
+        ac, engine=fast_engine, runtime=fast_rt, interval_ns=us(10), cost_per_counter_ns=123
+    )
+    assert query.cost_per_counter_ns == 123
+
+
+def test_query_cost_defaults_on_reference_node(registry, hpx4, engine):
+    """ivybridge-2x10 (the paper's node) keeps the historical constant."""
+    from repro.counters.query import QUERY_COST_PER_COUNTER_NS
+
+    ac = ActiveCounters(registry, ["/runtime/uptime"])
+    query = PeriodicQuery(ac, engine=engine, runtime=hpx4, interval_ns=us(10))
+    assert query.cost_per_counter_ns == QUERY_COST_PER_COUNTER_NS == 800
+
+
+def test_periodic_query_drives_pipeline(registry, hpx4, engine):
+    """A pipeline as the query target: samples land in frame + sinks."""
+    from repro.telemetry.frame import TelemetryFrame
+    from repro.telemetry.pipeline import TelemetryPipeline
+
+    sink = TelemetryFrame()
+    pipe = TelemetryPipeline(registry, ["/threads/count/cumulative"], sinks=(sink,))
+    query = PeriodicQuery(pipe, engine=engine, runtime=hpx4, interval_ns=us(20), in_band=False)
+    query.start()
+    hpx4.run_to_completion(fib_body, 12)
+    assert len(query.samples) > 1
+    assert len(pipe.frame) == len(query.samples)  # one counter per sample
+    assert len(sink) == len(pipe.frame)
+    # The recorded values are the same objects the query collected.
+    assert [s.value for s in pipe.frame] == [v[0].value for v in query.samples]

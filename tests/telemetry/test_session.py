@@ -1,0 +1,115 @@
+"""Session + telemetry integration: config plumbing, sinks, acceptance."""
+
+import io
+
+import pytest
+
+from repro.api import Session, TelemetryConfig
+from repro.platform.presets import platform_names
+from repro.simcore.clock import ms
+from repro.telemetry.frame import TelemetryFrame
+from repro.telemetry.sinks import JsonLinesSink, parse_jsonl_stream
+
+
+def test_run_result_carries_frame_and_totals():
+    result = Session(runtime="hpx", cores=2).run("fib", params={"n": 10})
+    assert result.telemetry is not None
+    assert len(result.telemetry) > 0
+    # The legacy dict is the frame's final-totals view, bit for bit.
+    assert result.counters == result.telemetry.totals()
+
+
+def test_collect_counters_false_means_no_frame():
+    result = Session(runtime="hpx", cores=2).run(
+        "fib", params={"n": 10}, collect_counters=False
+    )
+    assert result.telemetry is None
+    assert result.counters == {}
+
+
+def test_session_level_telemetry_config_applies_to_runs():
+    sink = TelemetryFrame()
+    session = Session(
+        runtime="hpx",
+        cores=2,
+        telemetry=TelemetryConfig(counters=("/runtime/uptime",), sinks=(sink,), run_id="sess"),
+    )
+    result = session.run("fib", params={"n": 10})
+    assert result.telemetry.names() == ["/runtime{locality#0/total}/uptime"]
+    assert len(sink) == 1
+    assert sink.samples[0].run_id == "sess"
+
+
+def test_per_run_telemetry_overrides_session_default():
+    session = Session(
+        runtime="hpx", cores=2, telemetry=TelemetryConfig(counters=("/runtime/uptime",))
+    )
+    result = session.run(
+        "fib",
+        params={"n": 10},
+        telemetry=TelemetryConfig(counters=("/threads/count/cumulative",)),
+    )
+    assert result.telemetry.names() == ["/threads{locality#0/total}/count/cumulative"]
+
+
+def test_interval_sampling_streams_to_sinks():
+    buf = io.StringIO()
+    session = Session(runtime="hpx", cores=4)
+    result = session.run(
+        "fib",
+        params={"n": 16},
+        telemetry=TelemetryConfig(
+            counters=("/threads/count/cumulative",),
+            interval_ns=ms(0.01),
+            sinks=(JsonLinesSink(buf),),
+        ),
+    )
+    frame = parse_jsonl_stream(buf.getvalue())
+    # Periodic samples plus the final end-of-run evaluation.
+    assert len(frame) == len(result.telemetry) > 1
+    assert frame.samples == result.telemetry.samples
+    assert result.query_samples  # the cadence driver recorded them too
+
+
+def test_default_run_id_identifies_the_run():
+    result = Session(runtime="std", cores=2).run("fib", params={"n": 10})
+    assert result.telemetry.samples[0].run_id == "fib/std/c2"
+
+
+def test_query_interval_requires_counters():
+    with pytest.raises(ValueError, match="collect_counters"):
+        Session(runtime="hpx").run(
+            "fib",
+            params={"n": 8},
+            collect_counters=False,
+            telemetry=TelemetryConfig(interval_ns=ms(1)),
+        )
+
+
+@pytest.mark.parametrize("platform", platform_names())
+def test_wildcard_query_acceptance_on_every_preset(platform):
+    """ISSUE acceptance: the worker-thread#* spec expands and samples on
+    every preset platform without error."""
+    session = Session(runtime="hpx", cores=2, platform=platform)
+    result = session.run(
+        "fib",
+        params={"n": 10},
+        counters=("/threads{locality#0/worker-thread#*}/time/average",),
+    )
+    assert not result.aborted
+    assert result.telemetry.names() == [
+        "/threads{locality#0/worker-thread#0}/time/average",
+        "/threads{locality#0/worker-thread#1}/time/average",
+    ]
+
+
+def test_abort_still_flushes_telemetry():
+    """An aborted run keeps the samples collected up to the abort."""
+    sink = TelemetryFrame()
+    result = Session(runtime="std", cores=4).run(
+        "fib",
+        params={"n": 19},
+        telemetry=TelemetryConfig(counters=("/runtime/uptime",), sinks=(sink,)),
+    )
+    assert result.aborted
+    assert result.telemetry is not None

@@ -326,3 +326,106 @@ def test_run_platform_changes_the_simulation(capsys):
 
     argv = ["run", "fib", "--cores", "4", "--param", "n=16", "--no-counters"]
     assert exec_ms(argv) != exec_ms(argv + ["--platform", "desktop-1x8"])
+
+
+def test_counters_list(capsys):
+    assert main(["counters", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "/threads/time/average" in out
+
+
+def test_counters_list_pattern(capsys):
+    assert main(["counters", "list", "--pattern", "/runtime/*"]) == 0
+    out = capsys.readouterr().out
+    assert "/runtime/uptime" in out
+    assert "/threads" not in out
+
+
+def test_counters_query_default_set_csv(capsys):
+    assert main(["counters", "query", "--param", "n=10", "--cores", "2"]) == 0
+    captured = capsys.readouterr()
+    lines = captured.out.strip().splitlines()
+    assert lines[0] == "name,instance,timestamp_ns,value,unit,run_id"
+    assert any("/threads{locality#0/total}/time/average," in line for line in lines[1:])
+    assert "fib [hpx, 2 cores]" in captured.err
+
+
+def test_counters_query_expands_wildcards(capsys):
+    assert (
+        main(
+            [
+                "counters",
+                "query",
+                "/threads{locality#0/worker-thread#*}/count/cumulative",
+                "--param",
+                "n=10",
+                "--cores",
+                "2",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "worker-thread#0" in out and "worker-thread#1" in out
+
+
+def test_counters_query_jsonl_to_file(tmp_path, capsys):
+    from repro.telemetry.sinks import parse_jsonl_stream
+
+    dest = tmp_path / "stream.jsonl"
+    assert (
+        main(
+            [
+                "counters",
+                "query",
+                "--param",
+                "n=10",
+                "--cores",
+                "2",
+                "--format",
+                "jsonl",
+                "--out",
+                str(dest),
+            ]
+        )
+        == 0
+    )
+    assert capsys.readouterr().out == ""  # the stream went to the file
+    frame = parse_jsonl_stream(dest.read_text())
+    assert "/threads{locality#0/total}/idle-rate" in frame.totals()
+
+
+def test_counters_query_interval_streams_samples(capsys):
+    assert (
+        main(
+            [
+                "counters",
+                "query",
+                "/threads{locality#0/total}/count/cumulative",
+                "--param",
+                "n=13",
+                "--cores",
+                "1",
+                "--interval",
+                "0.5",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    # Periodic rows plus the final evaluation, all on one counter.
+    assert out.count("/threads{locality#0/total}/count/cumulative,") > 2
+
+
+def test_counters_query_abort_exits_nonzero(capsys):
+    code = main(
+        ["counters", "query", "--runtime", "std", "--cores", "4", "--param", "n=19"]
+    )
+    assert code == 1
+    assert "ABORT" in capsys.readouterr().err
+
+
+def test_counters_query_bad_spec_errors(capsys):
+    code = main(["counters", "query", "/no-such/counter", "--param", "n=8"])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err

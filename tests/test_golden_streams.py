@@ -57,3 +57,28 @@ def test_fixture_inventory_matches_golden_runs():
     """Every golden run has a fixture and vice versa."""
     on_disk = {p.name.split(".")[0] for p in FIXTURES.glob("*.stream.json.gz")}
     assert on_disk == set(GOLDEN_RUNS)
+
+
+@pytest.mark.parametrize(
+    "name", sorted(n for n, run in GOLDEN_RUNS.items() if run[4])
+)  # counter-collecting runs only
+def test_telemetry_pipeline_reproduces_golden_counters(name):
+    """Counter values that flow through the telemetry pipeline are
+    bit-identical to the committed pre-pipeline fixtures: the frame's
+    totals, the legacy result dict, and a parsed JSONL stream all agree
+    with the golden counter values exactly."""
+    import io
+
+    from repro.api import Session, TelemetryConfig
+    from repro.telemetry.sinks import JsonLinesSink, parse_jsonl_stream
+
+    fixture = load_stream(FIXTURES / f"{name}.stream.json.gz")
+    benchmark, runtime, cores, params, _ = GOLDEN_RUNS[name]
+    buf = io.StringIO()
+    session = Session(runtime=runtime, cores=cores)
+    result = session.run(
+        benchmark, params=params, telemetry=TelemetryConfig(sinks=(JsonLinesSink(buf),))
+    )
+    assert result.counters == fixture["counters"]
+    assert result.telemetry.totals() == fixture["counters"]
+    assert parse_jsonl_stream(buf.getvalue()).totals() == fixture["counters"]
