@@ -1,0 +1,25 @@
+#!/usr/bin/env python3
+"""Run-server load harness — standalone entry point.
+
+Thin wrapper over ``repro bench-serve`` so the load test can run without
+installing the package::
+
+    python benchmarks/bench_serve.py --mode quick --out BENCH_serve.json \
+        --baseline results/baseline_serve.json
+
+Spawns one ``repro serve`` process, floods it from dozens of concurrent
+clients with hundreds of queued runs (80% unique, 20% cache-hot), and
+reports p50/p99 submit-to-result latency plus cache-hit throughput,
+gated against the committed baseline on machine-transferable ratios.
+See :mod:`repro.experiments.bench_serve`.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(["bench-serve", *sys.argv[1:]]))

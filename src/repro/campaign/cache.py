@@ -4,9 +4,12 @@ One JSON file per cell under ``<root>/<key[:2]>/<key>.json`` where
 *key* is :func:`repro.campaign.spec.cell_cache_key`.  The payload
 embeds its own key and schema version, so a corrupt, truncated or
 stale entry is detected on load and treated as a miss (the cell is
-simply re-executed).  Writes are atomic (temp file + ``os.replace``),
-which is what makes interrupted campaigns resumable: every cell that
-finished before the interrupt is a cache hit on the next run.
+simply re-executed).  Writes are atomic (unique temp file + fsync +
+``os.replace``), which is what makes interrupted campaigns resumable —
+every cell that finished before the interrupt is a cache hit on the
+next run — and what lets any number of processes share one cache root:
+campaign pool workers and ``repro serve`` workers hammering the same
+key never expose torn JSON to a reader; the last complete store wins.
 """
 
 from __future__ import annotations
@@ -87,6 +90,12 @@ class ResultCache:
         try:
             with handle:
                 json.dump(payload, handle, sort_keys=True)
+                # Flush user- and kernel-side before the rename: readers
+                # racing concurrent writers (server workers, campaign
+                # processes) must only ever observe a complete payload,
+                # even across a crash mid-store.
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(handle.name, path)
         except BaseException:
             try:

@@ -229,6 +229,38 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0 if result.verified else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from repro.serve.quotas import QuotaConfig
+    from repro.serve.server import ServerConfig, serve_forever
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        quota=QuotaConfig(rate=args.quota_rate, burst=args.quota_burst),
+        cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+        no_cache=args.no_cache,
+    )
+
+    def announce(server):  # the bound port matters with --port 0
+        cache = "off" if config.no_cache else str(server.cache.root)
+        print(
+            f"serving on {config.host}:{server.port} "
+            f"({config.workers} workers, queue {config.max_queue}, cache {cache})",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(serve_forever(config, ready=announce))
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
 def _cores_list(text: str) -> tuple[int, ...]:
     """argparse type for ``--cores-list``: "1,2,4" -> (1, 2, 4)."""
     try:
@@ -330,6 +362,40 @@ def cmd_bench_core(args: argparse.Namespace) -> int:
             status = 1
         else:
             print(f"\ngate OK vs {args.baseline} (threshold {args.threshold:.0%})")
+    return status
+
+
+def cmd_bench_serve(args: argparse.Namespace) -> int:
+    from repro.experiments.bench_serve import compare_to_baseline, render, run_bench_serve
+
+    result = run_bench_serve(
+        args.mode,
+        clients=args.clients,
+        runs=args.runs,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    payload = result.to_dict()
+    print(render(payload))
+    if args.out:
+        result.save(args.out)
+        print(f"\nwrote {args.out}")
+    status = 0
+    if args.baseline:
+        try:
+            baseline = json.loads(open(args.baseline).read())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+        failures = compare_to_baseline(payload, baseline, threshold=args.threshold)
+        if failures:
+            print(f"\nFAIL: serve load regression vs {args.baseline}:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"\ngate OK vs {args.baseline} (threshold x{args.threshold:g})")
     return status
 
 
@@ -511,6 +577,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(fn=cmd_run)
 
+    p = sub.add_parser("serve", help="run the HTTP run server (simulation-as-a-service)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765, help="0 = ephemeral (announced on stdout)")
+    p.add_argument("--workers", type=int, default=2, help="run-executing worker processes")
+    p.add_argument(
+        "--max-queue", type=int, default=256, help="queued-run capacity (429 beyond this)"
+    )
+    p.add_argument(
+        "--quota-rate", type=float, default=50.0, help="per-tenant sustained runs/second"
+    )
+    p.add_argument("--quota-burst", type=float, default=100.0, help="per-tenant burst allowance")
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="shared result cache root (default: results/campaigns/cache — campaigns hit it too)",
+    )
+    p.add_argument("--no-cache", action="store_true", help="always execute every run")
+    p.set_defaults(fn=cmd_serve)
+
     p = sub.add_parser("campaign", help="run an experiment matrix over a process pool")
     p.add_argument(
         "--benchmarks",
@@ -587,6 +673,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed drop in the new/legacy events-per-sec ratio (default 0.20)",
     )
     p.set_defaults(fn=cmd_bench_core)
+
+    p = sub.add_parser("bench-serve", help="load-test the run server (latency + cache gate)")
+    p.add_argument(
+        "--mode",
+        choices=("quick", "reference"),
+        default="quick",
+        help="load shape: quick (50 clients / 500 runs, CI) or reference (100 / 2000)",
+    )
+    p.add_argument("--clients", type=int, default=None, help="concurrent client tasks")
+    p.add_argument("--runs", type=int, default=None, help="total submissions")
+    p.add_argument("--workers", type=int, default=None, help="server worker processes")
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="server cache root (default: a fresh temp dir, so every cold run executes)",
+    )
+    p.add_argument("--out", default="BENCH_serve.json", metavar="FILE", help="artifact path")
+    p.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="gate against this committed artifact (e.g. results/baseline_serve.json)",
+    )
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=3.0,
+        help="allowed multiplier on the baseline's normalized latency ratios (default 3.0)",
+    )
+    p.set_defaults(fn=cmd_bench_serve)
 
     p = sub.add_parser(
         "compare", help="diff two campaign artifacts or BENCH_core files (regression gate)"

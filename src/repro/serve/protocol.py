@@ -1,0 +1,200 @@
+"""Minimal HTTP/1.1 wire protocol over asyncio streams.
+
+The run server deliberately avoids web frameworks and even the stdlib
+``http.server`` thread model: requests are parsed straight off an
+``asyncio.StreamReader`` and responses are written as bytes, which is
+all a JSON-over-HTTP service needs and keeps the whole wire layer
+auditable in one screen.  Responses close the connection (the load
+profile is many short-lived clients, not few chatty ones); streaming
+endpoints use ``Transfer-Encoding: chunked``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: Reason phrases for the status codes the server actually emits.
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Request bodies beyond this are rejected with 413.
+MAX_BODY_BYTES = 1 << 20
+#: Request line + headers beyond this are rejected with 400.
+MAX_HEADER_BYTES = 1 << 16
+
+
+class HttpError(Exception):
+    """A protocol-level failure that maps onto an HTTP error response."""
+
+    def __init__(self, status: int, message: str, headers: Mapping[str, str] | None = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = dict(headers or {})
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)  # keys lower-cased
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """The body decoded as JSON; raises :class:`HttpError` 400."""
+        if not self.body:
+            raise HttpError(400, "expected a JSON body")
+        try:
+            return json.loads(self.body)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}") from exc
+
+
+async def read_request(reader: Any) -> HttpRequest | None:
+    """Parse one request off *reader*; None on a cleanly closed peer."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except Exception as exc:  # IncompleteReadError (EOF), LimitOverrun, reset
+        if isinstance(exc, asyncio.IncompleteReadError) and not exc.partial:
+            return None
+        if isinstance(exc, asyncio.LimitOverrunError):
+            raise HttpError(400, "request head too large") from exc
+        raise HttpError(400, "malformed request head") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(400, "request head too large")
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError as exc:  # pragma: no cover - latin-1 can't fail
+        raise HttpError(400, "undecodable request head") from exc
+    request_line, _, header_block = text.partition("\r\n")
+    parts = request_line.split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line {request_line!r}")
+    method, target, _version = parts
+    split = urlsplit(target)
+    headers: dict[str, str] = {}
+    for line in header_block.split("\r\n"):
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as exc:
+            raise HttpError(400, "invalid Content-Length") from exc
+        if length < 0:
+            raise HttpError(400, "invalid Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, f"body larger than {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length)
+    elif headers.get("transfer-encoding", "").lower() == "chunked":
+        raise HttpError(400, "chunked request bodies are not supported")
+    return HttpRequest(
+        method=method.upper(),
+        path=unquote(split.path) or "/",
+        query={k: v for k, v in parse_qsl(split.query)},
+        headers=headers,
+        body=body,
+    )
+
+
+def _head(status: int, headers: Mapping[str, str]) -> bytes:
+    reason = REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    lines += [f"{name}: {value}" for name, value in headers.items()]
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def response(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    headers: Mapping[str, str] | None = None,
+) -> bytes:
+    """A complete ``Connection: close`` response as bytes."""
+    all_headers = {
+        "Content-Type": content_type,
+        "Content-Length": str(len(body)),
+        "Connection": "close",
+        **(headers or {}),
+    }
+    return _head(status, all_headers) + body
+
+
+def json_response(status: int, payload: Any, *, headers: Mapping[str, str] | None = None) -> bytes:
+    body = (json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n").encode()
+    return response(status, body, headers=headers)
+
+
+def error_response(exc: HttpError) -> bytes:
+    return json_response(exc.status, {"error": exc.message}, headers=exc.headers)
+
+
+def chunked_head(
+    status: int = 200,
+    *,
+    content_type: str = "application/jsonl",
+    headers: Mapping[str, str] | None = None,
+) -> bytes:
+    """Response head opening a chunked-transfer stream."""
+    all_headers = {
+        "Content-Type": content_type,
+        "Transfer-Encoding": "chunked",
+        "Connection": "close",
+        **(headers or {}),
+    }
+    return _head(status, all_headers)
+
+
+def chunk(data: bytes) -> bytes:
+    """One chunked-transfer frame (empty *data* would terminate: use
+    :func:`last_chunk` for that instead)."""
+    return f"{len(data):x}\r\n".encode() + data + b"\r\n"
+
+
+def last_chunk() -> bytes:
+    return b"0\r\n\r\n"
+
+
+def decode_chunked(payload: bytes) -> bytes:
+    """Reassemble a chunked-transfer body (the client side)."""
+    out = bytearray()
+    view = payload
+    while True:
+        size_line, sep, rest = view.partition(b"\r\n")
+        if not sep:
+            raise ValueError("truncated chunked body (missing size line)")
+        try:
+            size = int(size_line.split(b";")[0], 16)
+        except ValueError as exc:
+            raise ValueError(f"bad chunk size {size_line!r}") from exc
+        if size == 0:
+            return bytes(out)
+        if len(rest) < size + 2:
+            raise ValueError("truncated chunked body (short chunk)")
+        out += rest[:size]
+        if rest[size : size + 2] != b"\r\n":
+            raise ValueError("bad chunk terminator")
+        view = rest[size + 2 :]

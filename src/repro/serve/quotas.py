@@ -1,0 +1,110 @@
+"""Per-tenant admission quotas: classic token buckets.
+
+Tenancy is declared by the ``X-Repro-Tenant`` request header; every
+tenant gets an independent bucket refilled at ``rate`` runs/second up
+to ``burst`` tokens.  A submit costs one token; an empty bucket yields
+the number of seconds until the next token, which the server surfaces
+as a ``Retry-After`` header on the 429 response.
+
+The clock is injectable so tests can drive refill deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+#: Tenant assumed when a request carries no ``X-Repro-Tenant`` header.
+DEFAULT_TENANT = "anonymous"
+
+
+@dataclass(frozen=True)
+class QuotaConfig:
+    """Token-bucket shape applied to every tenant."""
+
+    rate: float = 50.0  # tokens (runs) per second
+    burst: float = 100.0  # bucket capacity
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"quota rate must be > 0, got {self.rate}")
+        if self.burst < 1:
+            raise ValueError(f"quota burst must be >= 1, got {self.burst}")
+
+
+class TokenBucket:
+    """One tenant's bucket; starts full."""
+
+    __slots__ = ("rate", "burst", "_tokens", "_stamp", "_clock")
+
+    def __init__(self, rate: float, burst: float, *, clock: Callable[[], float] = time.monotonic):
+        self.rate = rate
+        self.burst = burst
+        self._tokens = burst
+        self._clock = clock
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.burst, self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+    def try_acquire(self, n: float = 1.0) -> float:
+        """Take *n* tokens if available.
+
+        Returns 0.0 on success, otherwise the seconds until *n* tokens
+        will have accumulated (the ``Retry-After`` hint).
+        """
+        self._refill()
+        if self._tokens >= n:
+            self._tokens -= n
+            return 0.0
+        return (n - self._tokens) / self.rate
+
+
+@dataclass
+class TenantStats:
+    """Per-tenant admission bookkeeping surfaced by ``/stats``."""
+
+    submitted: int = 0
+    rejected: int = 0
+
+
+class TenantQuotas:
+    """Bucket-per-tenant admission control."""
+
+    def __init__(
+        self, config: QuotaConfig | None = None, *, clock: Callable[[], float] = time.monotonic
+    ):
+        self.config = config or QuotaConfig()
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self.stats: dict[str, TenantStats] = {}
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(
+                self.config.rate, self.config.burst, clock=self._clock
+            )
+        return bucket
+
+    def admit(self, tenant: str) -> float:
+        """Charge one run to *tenant*; 0.0 if admitted, else retry-after
+        seconds (and the rejection is counted)."""
+        stats = self.stats.setdefault(tenant, TenantStats())
+        retry_after = self.bucket(tenant).try_acquire()
+        if retry_after > 0.0:
+            stats.rejected += 1
+        else:
+            stats.submitted += 1
+        return retry_after
+
+    def tenants(self) -> list[str]:
+        return sorted(self.stats)

@@ -24,6 +24,7 @@ from repro.telemetry.sinks import (
     TelemetrySink,
     ensure_sink,
     parse_jsonl_stream,
+    replay_samples,
 )
 
 __all__ = [
@@ -39,4 +40,5 @@ __all__ = [
     "TelemetrySink",
     "ensure_sink",
     "parse_jsonl_stream",
+    "replay_samples",
 ]

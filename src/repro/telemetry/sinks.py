@@ -123,6 +123,18 @@ class ChromeTraceSink:
             self._dest.write_text(self.render(), encoding="utf-8")
 
 
+def replay_samples(samples: Any, sink: Any) -> None:
+    """Re-emit an iterable of samples (e.g. a stored
+    :class:`TelemetryFrame`) into *sink*.
+
+    The run server streams persisted telemetry rows to clients with
+    this: frame -> :class:`JsonLinesSink` over the HTTP chunk writer.
+    The sink is *not* closed — the caller owns its lifecycle.
+    """
+    for sample in samples:
+        sink.emit(sample)
+
+
 def parse_jsonl_stream(lines: Any) -> TelemetryFrame:
     """Parse a JSONL telemetry stream (iterable of lines or a whole
     string) back into a :class:`TelemetryFrame`; blank lines skipped."""

@@ -53,3 +53,72 @@ def test_store_is_atomic_no_temp_residue(tmp_path):
     cache.store(KEY, RESULT)
     leftovers = [p for p in (tmp_path / KEY[:2]).iterdir() if p.suffix == ".tmp"]
     assert leftovers == []
+
+
+# -- concurrent store/load hammering -----------------------------------------
+#
+# Server workers and campaign pool processes share one cache root; the
+# contract is that a reader racing any number of writers on the same
+# key sees either a miss or one complete payload — never torn JSON.
+
+def _payload(writer: int, value: int) -> dict:
+    # Size varies with value so an interleaving of two writes could not
+    # parse as valid JSON of either; the pad length is checkable.
+    return {"writer": writer, "value": value, "pad": "x" * (7 + value % 97)}
+
+
+def _payload_ok(result: dict) -> bool:
+    return (
+        set(result) == {"writer", "value", "pad"}
+        and result["pad"] == "x" * (7 + result["value"] % 97)
+    )
+
+
+def _hammer_worker(root: str, writer: int, iterations: int) -> tuple[int, int]:
+    """Store and load the one shared key in a tight loop.
+
+    Returns (invalid_entries_seen, torn_payloads_seen) — both must be
+    zero for every process.
+    """
+    from repro.campaign.cache import ResultCache
+
+    cache = ResultCache(root)
+    torn = 0
+    for i in range(iterations):
+        cache.store(KEY, _payload(writer, i))
+        result = cache.load(KEY)
+        if result is not None and not _payload_ok(result):
+            torn += 1
+    return cache.invalid, torn
+
+
+def test_concurrent_store_one_key_never_torn(tmp_path):
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    root = tmp_path / "cache"
+    writers, iterations = 3, 120
+    with ctx.Pool(writers) as pool:
+        handles = [
+            pool.apply_async(_hammer_worker, (str(root), w, iterations)) for w in range(writers)
+        ]
+        # The parent is one more concurrent reader while the pool runs.
+        reader = ResultCache(root)
+        torn_in_parent = 0
+        while not all(h.ready() for h in handles):
+            result = reader.load(KEY)
+            if result is not None and not _payload_ok(result):
+                torn_in_parent += 1
+        outcomes = [h.get(timeout=60) for h in handles]
+    assert torn_in_parent == 0
+    assert reader.invalid == 0
+    for invalid, torn in outcomes:
+        assert invalid == 0
+        assert torn == 0
+    # The survivor is one complete payload from some writer ...
+    final = ResultCache(root).load(KEY)
+    assert final is not None and _payload_ok(final)
+    # ... and no temp files leaked out of the interleaved stores.
+    leftovers = [p for p in (root / KEY[:2]).iterdir() if p.suffix == ".tmp"]
+    assert leftovers == []

@@ -1,0 +1,93 @@
+"""The serve load harness: job list, percentiles, baseline gate.
+
+The network-driving path itself is exercised by the CI serve-load-smoke
+job (and ``tests/serve/test_spawned.py`` covers the spawn plumbing);
+here we pin down the pure parts the gate's correctness rests on.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.bench_serve import (
+    HOT_WORKLOADS,
+    MODES,
+    build_jobs,
+    compare_to_baseline,
+    is_bench_serve_payload,
+    percentile,
+)
+
+
+def _payload(**overrides):
+    base = {
+        "kind": "repro-bench-serve",
+        "runs": 500,
+        "completed": 500,
+        "failed": 0,
+        "p99_over_ideal": 1.0,
+        "wall_over_ideal": 1.1,
+    }
+    base.update(overrides)
+    return base
+
+
+# -- the job list ------------------------------------------------------------
+
+
+def test_build_jobs_is_deterministic_with_a_hot_set():
+    jobs = build_jobs(500)
+    assert jobs == build_jobs(500)
+    assert len(jobs) == 500
+    hot = [j for j in jobs if j["seed"] < 100_000]
+    assert len(hot) == 100  # 20% drawn from the hot set
+    assert len({(j["seed"], j["cores"], j["params"]["n"]) for j in hot}) == HOT_WORKLOADS
+    cold = [j for j in jobs if j["seed"] >= 100_000]
+    assert len({j["seed"] for j in cold}) == len(cold)  # unique -> real executions
+
+
+def test_quick_mode_meets_the_smoke_floor():
+    assert MODES["quick"]["clients"] >= 50
+    assert MODES["quick"]["runs"] >= 500
+
+
+# -- percentiles -------------------------------------------------------------
+
+
+def test_percentile_nearest_rank():
+    values = list(range(1, 101))
+    assert percentile(values, 0.50) == 50
+    assert percentile(values, 0.99) == 99
+    assert percentile(values, 1.0) == 100
+    assert percentile([7.0], 0.99) == 7.0
+    assert math.isnan(percentile([], 0.5))
+
+
+# -- the baseline gate -------------------------------------------------------
+
+
+def test_gate_passes_within_threshold():
+    baseline = _payload()
+    current = _payload(p99_over_ideal=2.5, wall_over_ideal=2.0)
+    assert compare_to_baseline(current, baseline, threshold=3.0) == []
+
+
+def test_gate_fails_on_latency_ratio_regression():
+    failures = compare_to_baseline(_payload(p99_over_ideal=3.5), _payload(), threshold=3.0)
+    assert [f.metric for f in failures] == ["p99_over_ideal"]
+    assert "3.500" in str(failures[0])
+
+
+def test_gate_fails_on_incomplete_or_failed_runs():
+    failures = compare_to_baseline(_payload(completed=499, failed=1), _payload())
+    assert {f.metric for f in failures} == {"completed-runs", "failed-runs"}
+
+
+def test_gate_ignores_missing_ratio_metrics():
+    assert compare_to_baseline(_payload(), {"kind": "repro-bench-serve"}) == []
+
+
+def test_payload_sniffing():
+    assert is_bench_serve_payload(_payload())
+    assert not is_bench_serve_payload({"kind": "repro-bench-core"})
+    assert not is_bench_serve_payload(None)

@@ -1,0 +1,114 @@
+"""HTTP wire layer: request parsing, responses, chunked transfer."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    HttpError,
+    chunk,
+    chunked_head,
+    decode_chunked,
+    error_response,
+    json_response,
+    last_chunk,
+    read_request,
+    response,
+)
+
+
+def parse(raw: bytes):
+    """Run read_request over an in-memory stream."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(go())
+
+
+def test_parse_get_with_query_and_headers():
+    raw = (
+        b"GET /runs/r-1?wait=2.5&result=0 HTTP/1.1\r\n"
+        b"Host: localhost\r\n"
+        b"X-Repro-Tenant: acme\r\n\r\n"
+    )
+    request = parse(raw)
+    assert request.method == "GET"
+    assert request.path == "/runs/r-1"
+    assert request.query == {"wait": "2.5", "result": "0"}
+    assert request.headers["x-repro-tenant"] == "acme"  # keys lower-cased
+    assert request.body == b""
+
+
+def test_parse_post_with_body():
+    body = json.dumps({"benchmark": "fib"}).encode()
+    raw = (
+        b"POST /runs HTTP/1.1\r\nContent-Type: application/json\r\n"
+        + f"Content-Length: {len(body)}\r\n\r\n".encode()
+        + body
+    )
+    request = parse(raw)
+    assert request.method == "POST"
+    assert request.json() == {"benchmark": "fib"}
+
+
+def test_eof_before_any_bytes_is_none():
+    assert parse(b"") is None
+
+
+@pytest.mark.parametrize(
+    "raw",
+    [
+        b"NONSENSE\r\n\r\n",  # not a request line
+        b"GET /x SPDY/9\r\n\r\n",  # wrong protocol
+        b"GET /x HTTP/1.1\r\nbroken header line\r\n\r\n",
+        b"GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+    ],
+)
+def test_malformed_heads_raise_400(raw):
+    with pytest.raises(HttpError) as err:
+        parse(raw)
+    assert err.value.status == 400
+
+
+def test_json_body_errors_are_client_errors():
+    raw = b"POST /runs HTTP/1.1\r\nContent-Length: 9\r\n\r\nnot json!"
+    request = parse(raw)
+    with pytest.raises(HttpError) as err:
+        request.json()
+    assert err.value.status == 400
+
+
+def test_response_shapes():
+    raw = response(200, b"hi", content_type="text/plain")
+    assert raw.startswith(b"HTTP/1.1 200 OK\r\n")
+    assert b"Content-Length: 2\r\n" in raw
+    assert raw.endswith(b"\r\n\r\nhi")
+
+    raw = json_response(202, {"id": "r-1"})
+    head, _, body = raw.partition(b"\r\n\r\n")
+    assert b"202 Accepted" in head
+    assert json.loads(body) == {"id": "r-1"}
+
+    raw = error_response(HttpError(429, "slow down", headers={"Retry-After": "3"}))
+    assert b"429 Too Many Requests" in raw
+    assert b"Retry-After: 3\r\n" in raw
+
+
+def test_chunked_roundtrip():
+    head = chunked_head(200)
+    assert b"Transfer-Encoding: chunked" in head
+    stream = chunk(b'{"a":1}\n') + chunk(b'{"b":2}\n') + last_chunk()
+    assert decode_chunked(stream) == b'{"a":1}\n{"b":2}\n'
+
+
+def test_decode_chunked_rejects_truncation():
+    stream = chunk(b"payload")[:-3]
+    with pytest.raises(ValueError):
+        decode_chunked(stream)

@@ -1,0 +1,115 @@
+"""Run request validation, campaign cache-key interchange, queue bounds."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec, cell_cache_key
+from repro.serve.queue import (
+    DEFAULT_SEED,
+    BadRequest,
+    QueueFull,
+    RunQueue,
+    RunRecord,
+    RunRequest,
+)
+
+
+def record(run_id: str = "r-1") -> RunRecord:
+    request = RunRequest(benchmark="fib")
+    return RunRecord(id=run_id, tenant="t", request=request, key="k" * 64)
+
+
+# -- validation --------------------------------------------------------------
+
+
+def test_minimal_request_defaults():
+    request = RunRequest.from_json({"benchmark": "fib"})
+    assert request.runtime == "hpx"
+    assert request.cores == 1
+    assert request.preset == "default"
+    assert request.seed == DEFAULT_SEED
+    assert request.collect_counters is True
+
+
+@pytest.mark.parametrize(
+    "body,fragment",
+    [
+        ("not a dict", "JSON object"),
+        ({}, "unknown benchmark"),
+        ({"benchmark": "nope"}, "unknown benchmark"),
+        ({"benchmark": "fib", "runtime": "tbb"}, "unknown runtime"),
+        ({"benchmark": "fib", "cores": 0}, "cores"),
+        ({"benchmark": "fib", "cores": True}, "cores"),
+        ({"benchmark": "fib", "preset": "huge"}, "unknown preset"),
+        ({"benchmark": "fib", "params": [1]}, "params"),
+        ({"benchmark": "fib", "seed": "x"}, "seed"),
+        ({"benchmark": "fib", "platform": "pdp11"}, "unknown platform"),
+        ({"benchmark": "fib", "platform": "/etc/passwd"}, "unknown platform"),
+        ({"benchmark": "fib", "collect_counters": 1}, "collect_counters"),
+        ({"benchmark": "fib", "frobnicate": 1}, "unknown fields"),
+    ],
+)
+def test_invalid_bodies_name_the_problem(body, fragment):
+    with pytest.raises(BadRequest, match=fragment):
+        RunRequest.from_json(body)
+
+
+# -- the cache-key interchange guarantee -------------------------------------
+
+
+def test_cache_key_is_the_campaign_cell_key():
+    """A server run and the equivalent campaign cell share one key,
+    which is what makes the shared ResultCache interchange."""
+    request = RunRequest.from_json(
+        {"benchmark": "fib", "runtime": "std", "cores": 4, "params": {"n": 12}, "seed": 7}
+    )
+    spec = CampaignSpec(
+        benchmarks=("fib",),
+        runtimes=("std",),
+        core_counts=(4,),
+        samples=1,
+        seed=7,
+        params={"n": 12},
+    )
+    cell = next(spec.cells())
+    assert request.cache_key() == cell_cache_key(spec, cell)
+
+
+def test_cache_key_varies_with_inputs():
+    base = RunRequest.from_json({"benchmark": "fib"})
+    assert base.cache_key() == RunRequest.from_json({"benchmark": "fib"}).cache_key()
+    for variant in (
+        {"benchmark": "fib", "cores": 2},
+        {"benchmark": "fib", "runtime": "std"},
+        {"benchmark": "fib", "params": {"n": 9}},
+        {"benchmark": "fib", "seed": 1},
+        {"benchmark": "fib", "platform": "desktop-1x8"},
+        {"benchmark": "sort"},
+    ):
+        assert RunRequest.from_json(variant).cache_key() != base.cache_key()
+
+
+# -- the bounded queue -------------------------------------------------------
+
+
+def test_queue_rejects_beyond_capacity():
+    async def go():
+        queue = RunQueue(capacity=2)
+        queue.submit(record("r-1"))
+        queue.submit(record("r-2"))
+        assert queue.depth == 2
+        with pytest.raises(QueueFull):
+            queue.submit(record("r-3"))
+        first = await queue.get()
+        assert first.id == "r-1"  # FIFO
+        queue.submit(record("r-3"))  # drained one slot -> admissible again
+
+    asyncio.run(go())
+
+
+def test_queue_capacity_validation():
+    with pytest.raises(ValueError):
+        RunQueue(capacity=0)

@@ -1,0 +1,67 @@
+"""Per-tenant token buckets: exhaustion, refill, isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.quotas import QuotaConfig, TenantQuotas, TokenBucket
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def test_bucket_burst_then_refusal_with_retry_hint():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=3.0, clock=clock)
+    assert [bucket.try_acquire() for _ in range(3)] == [0.0, 0.0, 0.0]
+    retry_after = bucket.try_acquire()
+    assert retry_after == pytest.approx(0.5)  # 1 token at 2 tokens/s
+
+
+def test_bucket_refills_with_time_and_caps_at_burst():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=3.0, clock=clock)
+    for _ in range(3):
+        bucket.try_acquire()
+    clock.advance(1.0)  # +2 tokens
+    assert bucket.try_acquire() == 0.0
+    assert bucket.try_acquire() == 0.0
+    assert bucket.try_acquire() > 0.0
+    clock.advance(100.0)  # refill far beyond capacity
+    assert bucket.tokens == pytest.approx(3.0)
+
+
+def test_quota_config_validation():
+    with pytest.raises(ValueError):
+        QuotaConfig(rate=0.0)
+    with pytest.raises(ValueError):
+        QuotaConfig(burst=0.5)
+
+
+def test_tenants_are_isolated():
+    clock = FakeClock()
+    quotas = TenantQuotas(QuotaConfig(rate=1.0, burst=1.0), clock=clock)
+    assert quotas.admit("a") == 0.0
+    assert quotas.admit("a") > 0.0  # a exhausted its burst
+    assert quotas.admit("b") == 0.0  # b has its own bucket
+
+
+def test_admission_counts_per_tenant():
+    clock = FakeClock()
+    quotas = TenantQuotas(QuotaConfig(rate=1.0, burst=2.0), clock=clock)
+    outcomes = [quotas.admit("acme") for _ in range(4)]
+    assert outcomes[:2] == [0.0, 0.0] and all(r > 0 for r in outcomes[2:])
+    assert quotas.stats["acme"].submitted == 2
+    assert quotas.stats["acme"].rejected == 2
+    clock.advance(2.0)  # two tokens back
+    assert quotas.admit("acme") == 0.0
+    assert quotas.stats["acme"].submitted == 3
+    assert quotas.tenants() == ["acme"]

@@ -1,0 +1,32 @@
+"""One real `repro serve` subprocess, driven over the wire.
+
+Everything else in this suite runs the server in-process; this test
+covers what only a subprocess can: the CLI argument plumbing, the
+port-0 announcement banner, the ProcessPoolExecutor run path, and
+clean termination.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.serve.client import ServeClient
+from repro.serve.testing import spawn_server
+from repro.telemetry.sinks import parse_jsonl_stream
+
+
+def test_spawned_server_end_to_end(tmp_path):
+    with spawn_server(workers=2, max_queue=32, cache_dir=tmp_path / "cache") as srv:
+
+        async def scenario() -> None:
+            client = ServeClient(srv.host, srv.port, tenant="ci")
+            accepted = await client.submit("fib", params={"n": 10}, cores=2)
+            status = await client.result(accepted["id"], timeout=120.0)
+            assert status["state"] == "done"
+            assert status["result"]["verified"] is True
+            frame = parse_jsonl_stream(await client.telemetry(accepted["id"]))
+            assert frame.totals(), "expected counter totals through the server path"
+            warm = await client.submit("fib", params={"n": 10}, cores=2)
+            assert warm["cached"] is True
+
+        asyncio.run(scenario())
