@@ -20,6 +20,10 @@ The package provides:
   requests, cycles, instructions) fed by the machine model.
 - :mod:`repro.inncabs` — all fourteen Inncabs benchmarks written against
   a runtime-agnostic task API.
+- :mod:`repro.workloads` — the unified workload registry and the frozen
+  :class:`~repro.workloads.WorkloadSpec` every layer accepts.
+- :mod:`repro.taskbench` — parameterized dependency-graph workloads
+  (Task Bench shapes) and the METG(eps) sweep driver.
 - :mod:`repro.tools` — models of the TAU and HPCToolkit external tools
   used for Table I.
 - :mod:`repro.apex` — an APEX-style introspection / adaptation layer.
@@ -38,12 +42,16 @@ from repro._version import __version__
 from repro.api import Session, TelemetryConfig
 from repro.experiments.runner import RunResult
 from repro.inncabs.suite import available_benchmarks, get_benchmark
+from repro.workloads import WorkloadSpec, available_workloads, get_workload
 
 __all__ = [
     "__version__",
     "Session",
     "TelemetryConfig",
     "RunResult",
+    "WorkloadSpec",
     "available_benchmarks",
+    "available_workloads",
     "get_benchmark",
+    "get_workload",
 ]

@@ -31,7 +31,6 @@ from repro.exec.errors import DeadlockError
 from repro.experiments.config import DEFAULT_COUNTERS, ExperimentConfig
 from repro.experiments.runner import RunResult
 from repro.inncabs.base import effective_locality_factor
-from repro.inncabs.suite import get_benchmark
 from repro.kernel.config import StdParams
 from repro.kernel.scheduler import StdRuntime
 from repro.papi.hw import PapiSubstrate
@@ -42,8 +41,9 @@ from repro.runtime.scheduler import HpxRuntime
 from repro.simcore.events import Engine
 from repro.simcore.machine import Machine, MachineSpec
 from repro.telemetry.pipeline import DEFAULT_BUFFER_LIMIT, TelemetryConfig, TelemetryPipeline
+from repro.workloads import WorkloadSpec, as_workload_spec, get_workload
 
-__all__ = ["Session", "RunResult", "TelemetryConfig"]
+__all__ = ["Session", "RunResult", "TelemetryConfig", "WorkloadSpec"]
 
 #: Accepted runtime names.  ``"kernel"`` is an alias for the
 #: ``std::async`` thread-per-task model (it runs on kernel threads).
@@ -130,7 +130,7 @@ class Session:
 
     def run(
         self,
-        benchmark: str,
+        benchmark: str | WorkloadSpec,
         *,
         params: Mapping[str, Any] | None = None,
         cores: int | None = None,
@@ -141,7 +141,15 @@ class Session:
         query_sink: Any = None,
         telemetry: TelemetryConfig | None = None,
     ) -> RunResult:
-        """Run one benchmark to completion; returns a :class:`RunResult`.
+        """Run one workload to completion; returns a :class:`RunResult`.
+
+        ``benchmark`` is a :class:`~repro.workloads.WorkloadSpec`, its
+        canonical string spelling (``"taskbench:shape=fft,width=8"``),
+        or — the legacy shim, kept for compatibility and slated for
+        removal — a bare benchmark name with inputs passed separately
+        via ``params=``.  Either way the workload is resolved through
+        the :mod:`repro.workloads` registry; ``params=`` overlays the
+        spec's own parameters.
 
         ``counters`` is a sequence of counter-name specs to collect
         (defaults to the paper's software + PAPI set).  Counters read
@@ -162,13 +170,13 @@ class Session:
         config = self.config
         tele = telemetry if telemetry is not None else self.telemetry
         ncores = self.cores if cores is None else cores
-        bench = get_benchmark(benchmark)
-        merged = bench.params_with_defaults(params)
-        root_fn, root_args = bench.make_root(merged)
+        workload = as_workload_spec(benchmark)
+        bench = get_workload(workload.name).benchmark
+        root_fn, root_args, merged = workload.build(params)
 
         engine = self.engine_factory()
         machine = Machine(config.platform)
-        out = RunResult(benchmark=benchmark, runtime=self.runtime, cores=ncores)
+        out = RunResult(benchmark=workload.name, runtime=self.runtime, cores=ncores)
 
         rt: Any
         if self.runtime == "hpx":
@@ -203,7 +211,7 @@ class Session:
                 run_id=(
                     tele.run_id
                     if tele is not None and tele.run_id
-                    else f"{benchmark}/{self.runtime}/c{ncores}"
+                    else f"{workload.name}/{self.runtime}/c{ncores}"
                 ),
                 sinks=tele.sinks if tele is not None else (),
                 buffer_limit=tele.buffer_limit if tele is not None else DEFAULT_BUFFER_LIMIT,

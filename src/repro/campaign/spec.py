@@ -35,7 +35,10 @@ from repro.simcore.machine import MachineSpec
 #: Bump to invalidate every cached cell (cache layout / semantics change).
 #: v4: payloads carry telemetry sample rows; platform specs grew
 #: ``counter_query_cost_ns``.
-CACHE_KEY_VERSION = 4
+#: v5: cells name workloads (``WorkloadSpec`` canonical strings) — the
+#: key hashes the parsed workload name with its parameters folded into
+#: ``params``, so every spelling of one workload shares one entry.
+CACHE_KEY_VERSION = 5
 
 RUNTIMES = ("hpx", "std")
 
@@ -52,7 +55,13 @@ def stable_hash(obj: Any) -> str:
 
 @dataclass(frozen=True)
 class Cell:
-    """One cell of the matrix: a single simulation run."""
+    """One cell of the matrix: a single simulation run.
+
+    ``benchmark`` is the canonical :class:`~repro.workloads.WorkloadSpec`
+    spelling — a bare name for parameterless entries (``"fib"``), or
+    ``"taskbench:shape=fft,width=8"`` when the matrix runs several
+    variants of one workload side by side.
+    """
 
     benchmark: str
     runtime: str  # "hpx" | "std"
@@ -83,6 +92,17 @@ class CampaignSpec:
     counter_specs: tuple[str, ...] | None = None  # None: the paper's set
 
     def __post_init__(self) -> None:
+        from repro.workloads import as_workload_spec
+
+        # Normalize every entry to the canonical WorkloadSpec spelling
+        # (validating the name and parameter keys up front), so cells,
+        # artifacts and cache keys never see spelling variants.
+        normalized = []
+        for entry in self.benchmarks:
+            workload = as_workload_spec(entry)
+            workload.validate()
+            normalized.append(workload.canonical())
+        object.__setattr__(self, "benchmarks", tuple(normalized))
         if isinstance(self.platform, MachineSpec):
             object.__setattr__(self, "platform", self.platform.to_platform())
         if self.std is None:
@@ -162,11 +182,19 @@ class CampaignSpec:
                         )
 
     def cell_params(self, cell: Cell) -> dict[str, Any]:
-        """Fully-resolved benchmark parameters for *cell* (seed last)."""
-        from repro.inncabs.presets import preset_params
+        """Fully-resolved workload parameters for *cell*.
 
-        params = preset_params(cell.benchmark, self.preset)
+        Overlay order: preset < campaign-wide ``params`` < the cell's
+        own embedded workload parameters (most specific wins — two
+        variants of one workload in a matrix keep what distinguishes
+        them) < the cell seed.
+        """
+        from repro.workloads import WorkloadSpec, workload_preset_params
+
+        workload = WorkloadSpec.parse(cell.benchmark)
+        params = workload_preset_params(workload.name, self.preset)
         params.update(self.params)
+        params.update(workload.params)
         params["seed"] = cell.seed
         return params
 
@@ -225,12 +253,21 @@ def cell_cache_key(spec: CampaignSpec, cell: Cell) -> str:
     ``std::async`` recalibration and vice versa), the counter
     configuration (counters instrument both runtimes), the package
     version, and :data:`CACHE_KEY_VERSION`.
+
+    The payload's ``benchmark`` is the parsed workload *name* alone —
+    parameters embedded in the cell's canonical spelling are already
+    folded into ``params`` by :meth:`CampaignSpec.cell_params` — so
+    ``taskbench:shape=fft`` in a campaign matrix and ``{"benchmark":
+    "taskbench", "params": {"shape": "fft"}}`` over the serve API hash
+    to the same entry.
     """
+    from repro.workloads import WorkloadSpec
+
     assert spec.std is not None
     payload: dict[str, Any] = {
         "cache_key_version": CACHE_KEY_VERSION,
         "code_version": __version__,
-        "benchmark": cell.benchmark,
+        "benchmark": WorkloadSpec.parse(cell.benchmark).name,
         "runtime": cell.runtime,
         "cores": cell.cores,
         "seed": cell.seed,

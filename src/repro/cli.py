@@ -12,8 +12,16 @@ periodically query specific counters"):
   expanded) as CSV or JSON lines;
 - ``repro run BENCH --runtime hpx --cores 8 --print-counter NAME ...``
   — one run with counters printed CSV-style;
+- ``repro workloads list|show`` — the unified workload registry
+  (Inncabs and Task Bench alike, with defaults and presets);
+- ``repro taskbench --shape stencil_1d --width 64 --steps 32`` — the
+  METG(eps) sweep over a parameterized dependency graph;
 - ``repro table1`` / ``repro table5`` — regenerate the paper's tables;
 - ``repro figure fig5`` — regenerate one figure's series.
+
+``repro run``, ``repro campaign`` and ``repro taskbench`` share one
+``--workload NAME[:key=val,...]`` / ``--platform`` / ``--seed`` option
+group (see :func:`_add_workload_options`).
 
 Campaign layer (the parallel experiment engine):
 
@@ -76,6 +84,64 @@ def _parse_params(pairs: Sequence[str]) -> dict[str, Any]:
     return params
 
 
+def _add_workload_options(
+    parser: argparse.ArgumentParser,
+    *,
+    workload: bool = True,
+    seed_default: int | None = 20160523,
+) -> None:
+    """The shared ``--workload`` / ``--platform`` / ``--seed`` option group.
+
+    ``repro run``, ``repro campaign`` and ``repro taskbench`` all pull
+    their workload-selection surface from here so the spellings stay
+    identical across subcommands.
+    """
+    if workload:
+        parser.add_argument(
+            "--workload",
+            default=None,
+            metavar="NAME[:key=val,...]",
+            help="workload spec in canonical form, e.g. taskbench:shape=fft,width=8 "
+            "(see 'repro workloads list')",
+        )
+    parser.add_argument(
+        "--platform",
+        default=None,
+        metavar="NAME|FILE",
+        help="simulated node: preset name or platform file (default: ivybridge-2x10)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=seed_default,
+        help="root seed (default: the paper's 20160523)",
+    )
+
+
+def _resolve_cli_workload(args: argparse.Namespace) -> "Any":
+    """Build the WorkloadSpec a ``repro run``-style invocation names.
+
+    Exactly one of the positional ``benchmark`` and ``--workload`` must
+    be given.  Overlay order matches campaigns: preset < ``--param`` <
+    parameters embedded in the workload spec < ``--seed``.
+    """
+    from repro.workloads import WorkloadSpec, workload_preset_params
+
+    named = [text for text in (getattr(args, "benchmark", None), args.workload) if text]
+    if len(named) != 1:
+        raise SystemExit("name exactly one workload (positional BENCHMARK or --workload)")
+    try:
+        workload = WorkloadSpec.parse(named[0])
+        params = workload_preset_params(workload.name, getattr(args, "preset", "default"))
+    except (ValueError, KeyError) as exc:
+        raise SystemExit(f"error: {exc.args[0] if exc.args else exc}")
+    params.update(_parse_params(getattr(args, "param", [])))
+    params.update(workload.params)
+    if args.seed is not None:
+        params["seed"] = args.seed
+    return WorkloadSpec(workload.name, params)
+
+
 def cmd_list_benchmarks(_args: argparse.Namespace) -> int:
     for name in available_benchmarks():
         info = get_benchmark(name).info
@@ -105,11 +171,17 @@ def cmd_list_counters(args: argparse.Namespace) -> int:
 
 
 def cmd_counters_query(args: argparse.Namespace) -> int:
-    from repro.inncabs.presets import preset_params
     from repro.telemetry import CsvSink, JsonLinesSink, TelemetryConfig
+    from repro.workloads import WorkloadSpec, workload_preset_params
 
-    params = preset_params(args.benchmark, args.preset)
+    try:
+        workload = WorkloadSpec.parse(args.benchmark)
+        params = workload_preset_params(workload.name, args.preset)
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 2
     params.update(_parse_params(args.param))
+    params.update(workload.params)
     specs = tuple(args.specs) if args.specs else DEFAULT_COUNTERS
     # A path destination is owned by the sink (the pipeline closes it
     # when the run finishes); stdout is borrowed and only flushed.
@@ -118,8 +190,7 @@ def cmd_counters_query(args: argparse.Namespace) -> int:
     session = Session(runtime=args.runtime, cores=args.cores, platform=args.platform)
     try:
         result = session.run(
-            args.benchmark,
-            params=params,
+            WorkloadSpec(workload.name, params),
             telemetry=TelemetryConfig(
                 counters=specs,
                 interval_ns=None if args.interval is None else round(args.interval * 1e6),
@@ -181,13 +252,10 @@ def cmd_platform_show(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    from repro.inncabs.presets import preset_params
-
     from repro.counters.manager import format_counter_values
 
     specs = tuple(args.print_counter) if args.print_counter else DEFAULT_COUNTERS
-    params = preset_params(args.benchmark, args.preset)
-    params.update(_parse_params(args.param))
+    workload = _resolve_cli_workload(args)
     destination = None
     sink = None
     if args.print_counter_interval is not None:
@@ -199,8 +267,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     try:
         session = Session(runtime=args.runtime, cores=args.cores, platform=args.platform)
         result = session.run(
-            args.benchmark,
-            params=params,
+            workload,
             counters=specs if args.runtime == "hpx" else None,
             collect_counters=not args.no_counters,
             query_interval_ns=(
@@ -214,11 +281,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         if destination is not None:
             destination.close()
     if result.aborted:
-        print(f"{args.benchmark} [{args.runtime}, {args.cores} cores]: ABORT")
+        print(f"{workload.name} [{args.runtime}, {args.cores} cores]: ABORT")
         print(f"  {result.abort_reason}")
         return 1
     print(
-        f"{args.benchmark} [{args.runtime}, {args.cores} cores]: "
+        f"{workload.name} [{args.runtime}, {args.cores} cores]: "
         f"{result.exec_time_ms:.3f} ms, {result.tasks_executed} tasks, "
         f"verified={result.verified}"
     )
@@ -227,6 +294,93 @@ def cmd_run(args: argparse.Namespace) -> int:
         for name, value in result.counters.items():
             print(f"{name},1,{result.exec_time_ns},{value:g}")
     return 0 if result.verified else 1
+
+
+def cmd_workloads_list(_args: argparse.Namespace) -> int:
+    from repro.workloads import available_workloads, get_workload
+
+    for name in available_workloads():
+        entry = get_workload(name)
+        presets = ",".join(["default", *sorted(entry.presets)])
+        print(f"{name:11s} {entry.family:9s} presets={presets:21s} {entry.description}")
+    return 0
+
+
+def cmd_workloads_show(args: argparse.Namespace) -> int:
+    from repro.workloads import get_workload
+
+    try:
+        entry = get_workload(args.name)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    info = entry.benchmark.info
+    print(f"{entry.name} ({entry.family}): {entry.description}")
+    print(f"  structure: {info.structure}, synchronization: {info.synchronization}")
+    print("  defaults:")
+    for key, value in entry.benchmark.default_params.items():
+        print(f"    {key} = {value!r}")
+    for preset in sorted(entry.presets):
+        overrides = ", ".join(f"{k}={v!r}" for k, v in entry.presets[preset].items())
+        print(f"  preset {preset}: {overrides}")
+    example = ":key=val,..." if entry.benchmark.default_params else ""
+    print(f"  spec example: {entry.name}{example}")
+    return 0
+
+
+def cmd_taskbench(args: argparse.Namespace) -> int:
+    from repro.inncabs.base import DEFAULT_SEED
+    from repro.platform import resolve_platform
+    from repro.taskbench import metg_sweep
+
+    platform = resolve_platform(args.platform)
+    cores = args.cores if args.cores else platform.total_cores
+    seed = args.seed if args.seed is not None else DEFAULT_SEED
+    runtimes = ("hpx", "std") if args.runtime == "both" else (args.runtime,)
+    results = []
+    for runtime in runtimes:
+
+        def progress(probe, _rt=runtime):
+            if args.verbose:
+                state = "ABORT" if probe.aborted else f"eff={probe.efficiency:.4f}"
+                print(f"  {_rt} grain={probe.grain_ns} ns: {state}", file=sys.stderr)
+
+        result = metg_sweep(
+            shape=args.shape,
+            width=args.width,
+            steps=args.steps,
+            runtime=runtime,
+            cores=cores,
+            eps=args.eps,
+            seed=seed,
+            platform=platform,
+            membytes=args.membytes,
+            degree=args.degree,
+            progress=progress,
+        )
+        results.append(result)
+        metg = "unreachable" if result.metg_ns is None else f"{result.metg_ns} ns"
+        print(
+            f"taskbench {args.shape} width={args.width} steps={args.steps} "
+            f"[{runtime}, {cores} cores, {platform.name}]: "
+            f"METG({args.eps:g}) = {metg} ({len(result.probes)} probes)"
+        )
+    if args.out:
+        payload = {"results": [r.to_json_dict() for r in results]}
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if args.samples_out:
+        from repro.telemetry import JsonLinesSink
+
+        sink = JsonLinesSink(args.samples_out)
+        for result in results:
+            for sample in result.to_samples():
+                sink.emit(sample)
+        sink.close()
+        print(f"wrote {args.samples_out}")
+    return 0 if all(r.metg_ns is not None for r in results) else 1
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -291,17 +445,24 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     from repro.platform import resolve_platform
 
     core_counts = args.cores_list if args.cores_list else QUICK_CORE_COUNTS
-    spec = CampaignSpec(
-        benchmarks=tuple(args.benchmarks or available_benchmarks()),
-        runtimes=tuple(args.runtimes),
-        core_counts=core_counts,
-        samples=args.samples,
-        seed=args.seed,
-        preset=args.preset,
-        params=_parse_params(args.param),
-        platform=resolve_platform(args.platform),
-        collect_counters=not args.no_counters,
-    )
+    workloads = tuple(args.benchmarks or []) + tuple(args.workloads or [])
+    if not workloads:
+        workloads = tuple(available_benchmarks())
+    try:
+        spec = CampaignSpec(
+            benchmarks=workloads,
+            runtimes=tuple(args.runtimes),
+            core_counts=core_counts,
+            samples=args.samples,
+            seed=args.seed,
+            preset=args.preset,
+            params=_parse_params(args.param),
+            platform=resolve_platform(args.platform),
+            collect_counters=not args.no_counters,
+        )
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 2
     cache = None
     if not args.no_cache:
         cache = ResultCache(Path(args.cache_dir)) if args.cache_dir else ResultCache.default()
@@ -503,7 +664,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="counter-name specs; '#*' wildcards are expanded at discovery "
         "(default: the paper's counter set)",
     )
-    pc.add_argument("--benchmark", default="fib", choices=available_benchmarks())
+    pc.add_argument(
+        "--benchmark",
+        default="fib",
+        metavar="WORKLOAD",
+        help="workload name or NAME:key=val,... spec (see 'repro workloads list')",
+    )
     pc.add_argument("--runtime", choices=("hpx", "std"), default="hpx")
     pc.add_argument("--cores", type=int, default=4)
     pc.add_argument(
@@ -536,16 +702,17 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("name", help="preset name or path to a .toml/.json platform file")
     pp.set_defaults(fn=cmd_platform_show)
 
-    p = sub.add_parser("run", help="run one benchmark")
-    p.add_argument("benchmark", choices=available_benchmarks())
+    p = sub.add_parser("run", help="run one workload")
+    p.add_argument(
+        "benchmark",
+        nargs="?",
+        default=None,
+        metavar="WORKLOAD",
+        help="workload name or NAME:key=val,... spec (or use --workload)",
+    )
     p.add_argument("--runtime", choices=("hpx", "std"), default="hpx")
     p.add_argument("--cores", type=int, default=1)
-    p.add_argument(
-        "--platform",
-        default=None,
-        metavar="NAME|FILE",
-        help="simulated node: preset name or platform file (default: ivybridge-2x10)",
-    )
+    _add_workload_options(p, seed_default=None)
     p.add_argument(
         "--print-counter",
         action="append",
@@ -577,6 +744,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(fn=cmd_run)
 
+    p = sub.add_parser("workloads", help="the unified workload registry (Inncabs + Task Bench)")
+    workloads_sub = p.add_subparsers(dest="workloads_command", required=True)
+    pw = workloads_sub.add_parser("list", help="list every registered workload")
+    pw.set_defaults(fn=cmd_workloads_list)
+    pw = workloads_sub.add_parser("show", help="defaults and presets of one workload")
+    pw.add_argument("name", help="workload name (see 'repro workloads list')")
+    pw.set_defaults(fn=cmd_workloads_show)
+
+    p = sub.add_parser("taskbench", help="METG(eps) sweep over a parameterized dependency graph")
+    p.add_argument(
+        "--shape",
+        choices=("trivial", "stencil_1d", "fft", "tree", "random"),
+        default="stencil_1d",
+        help="dependency pattern (default: stencil_1d)",
+    )
+    p.add_argument("--width", type=int, default=64, help="points per timestep")
+    p.add_argument("--steps", type=int, default=32, help="number of timesteps")
+    p.add_argument(
+        "--eps",
+        type=float,
+        default=0.5,
+        help="efficiency slack: METG is the smallest grain with "
+        "efficiency >= 1-eps (default 0.5)",
+    )
+    p.add_argument(
+        "--runtime",
+        choices=("hpx", "std", "both"),
+        default="both",
+        help="backend(s) to sweep (default: both)",
+    )
+    p.add_argument(
+        "--cores", type=int, default=None, help="worker count (default: all platform cores)"
+    )
+    p.add_argument("--membytes", type=int, default=0, help="memory traffic per task (bytes)")
+    p.add_argument(
+        "--degree", type=float, default=3.0, help="expected in-degree of the random shape"
+    )
+    _add_workload_options(p, workload=False, seed_default=None)
+    p.add_argument("--out", default=None, metavar="FILE", help="write the sweep results as JSON")
+    p.add_argument(
+        "--samples-out",
+        default=None,
+        metavar="FILE",
+        help="also write the derived /taskbench{...} counter samples as JSON lines",
+    )
+    p.add_argument("--verbose", action="store_true", help="per-probe progress on stderr")
+    p.set_defaults(fn=cmd_taskbench)
+
     p = sub.add_parser("serve", help="run the HTTP run server (simulation-as-a-service)")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8765, help="0 = ephemeral (announced on stdout)")
@@ -603,7 +818,16 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         default=None,
         choices=available_benchmarks(),
-        help="benchmarks to include (default: all fourteen)",
+        help="Inncabs benchmarks to include (default: all fourteen when "
+        "--workloads is not given either)",
+    )
+    p.add_argument(
+        "--workloads",
+        nargs="*",
+        default=None,
+        metavar="NAME[:key=val,...]",
+        help="workload specs to include alongside --benchmarks "
+        "(e.g. taskbench:shape=fft,width=8; see 'repro workloads list')",
     )
     p.add_argument(
         "--runtimes",
@@ -616,14 +840,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--cores-list", type=_cores_list, default=None, help="comma-separated core counts"
     )
     p.add_argument("--samples", type=int, default=3, help="samples per cell group")
-    p.add_argument("--seed", type=int, default=20160523, help="root seed (paper default)")
     p.add_argument("--preset", choices=("small", "default", "large"), default="default")
-    p.add_argument(
-        "--platform",
-        default=None,
-        metavar="NAME|FILE",
-        help="simulated node: preset name or platform file (part of each cell's cache key)",
-    )
+    _add_workload_options(p, workload=False)
     p.add_argument("--param", action="append", default=[], metavar="KEY=VALUE")
     p.add_argument("--jobs", type=int, default=1, help="worker processes (1 = serial)")
     p.add_argument("--out", default=None, metavar="FILE", help="artifact path (JSON)")

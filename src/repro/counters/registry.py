@@ -170,11 +170,13 @@ def build_default_registry(env: CounterEnvironment) -> CounterRegistry:
     from repro.counters.threads_counters import register_threads_counters
     from repro.counters.papi_counters import register_papi_counters
     from repro.counters.runtime_counters import register_runtime_counters
+    from repro.counters.taskbench_counters import register_taskbench_counters
 
     registry = CounterRegistry(env)
     if env.runtime is not None:
         register_threads_counters(registry)
         register_runtime_counters(registry)
+        register_taskbench_counters(registry)
     if env.papi is not None:
         register_papi_counters(registry)
     return registry

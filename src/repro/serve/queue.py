@@ -22,9 +22,9 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from repro.campaign.spec import CampaignSpec, Cell, cell_cache_key
-from repro.inncabs.suite import available_benchmarks
 from repro.platform.presets import resolve_platform
 from repro.platform.spec import PlatformSpec
+from repro.workloads import WorkloadSpec, available_workloads, get_workload
 
 #: Root seed applied when a request does not pin one (the paper default
 #: used by campaigns, so unseeded server runs hit campaign cells).
@@ -66,6 +66,7 @@ class RunRequest:
             raise BadRequest("request body must be a JSON object")
         unknown = set(obj) - {
             "benchmark",
+            "workload",
             "runtime",
             "cores",
             "preset",
@@ -76,10 +77,10 @@ class RunRequest:
         }
         if unknown:
             raise BadRequest(f"unknown fields: {', '.join(sorted(unknown))}")
-        benchmark = obj.get("benchmark")
-        if benchmark not in available_benchmarks():
-            known = ", ".join(available_benchmarks())
-            raise BadRequest(f"unknown benchmark {benchmark!r}; expected one of: {known}")
+        params = obj.get("params", {})
+        if not isinstance(params, dict):
+            raise BadRequest("params must be a JSON object")
+        benchmark, params = cls._resolve_workload(obj, params)
         runtime = obj.get("runtime", "hpx")
         if runtime not in _RUNTIMES:
             raise BadRequest(f"unknown runtime {runtime!r}; expected one of {_RUNTIMES}")
@@ -89,9 +90,6 @@ class RunRequest:
         preset = obj.get("preset", "default")
         if preset not in _PRESETS:
             raise BadRequest(f"unknown preset {preset!r}; expected one of {_PRESETS}")
-        params = obj.get("params", {})
-        if not isinstance(params, dict):
-            raise BadRequest("params must be a JSON object")
         seed = obj.get("seed", DEFAULT_SEED)
         if not isinstance(seed, int) or isinstance(seed, bool):
             raise BadRequest(f"seed must be an integer, got {seed!r}")
@@ -117,6 +115,45 @@ class RunRequest:
             platform=platform,
             collect_counters=collect,
         )
+
+    @staticmethod
+    def _resolve_workload(obj: Mapping[str, Any], params: dict) -> tuple[str, dict]:
+        """Resolve ``workload``/``benchmark`` to ``(name, merged params)``.
+
+        ``workload`` accepts the canonical string spelling
+        (``"taskbench:shape=fft"``) or the JSON object form
+        (``{"name": ..., "params": {...}}``); ``benchmark`` is the
+        legacy bare-name field.  Either way the name is validated
+        against the workload registry — the error lists every
+        registered workload — and the request's ``params`` overlay the
+        spec's embedded ones.
+        """
+        workload = obj.get("workload")
+        benchmark = obj.get("benchmark")
+        if workload is not None and benchmark is not None:
+            raise BadRequest("pass either 'workload' or 'benchmark', not both")
+        if workload is not None:
+            try:
+                if isinstance(workload, str):
+                    spec = WorkloadSpec.parse(workload)
+                elif isinstance(workload, dict):
+                    if not set(workload) <= {"name", "params"}:
+                        raise ValueError("workload object allows only 'name' and 'params'")
+                    spec = WorkloadSpec.from_json_dict(workload)
+                else:
+                    raise ValueError("workload must be a string or an object")
+            except (ValueError, KeyError, TypeError) as exc:
+                raise BadRequest(f"bad workload: {exc}") from exc
+            benchmark = spec.name
+            params = {**spec.params, **params}
+        if not isinstance(benchmark, str) or benchmark not in available_workloads():
+            known = ", ".join(available_workloads())
+            raise BadRequest(f"unknown workload {benchmark!r}; expected one of: {known}")
+        try:
+            get_workload(benchmark).benchmark.params_with_defaults(params)
+        except ValueError as exc:
+            raise BadRequest(str(exc)) from exc
+        return benchmark, dict(params)
 
     def resolve_platform(self) -> PlatformSpec:
         try:

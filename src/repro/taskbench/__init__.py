@@ -1,0 +1,27 @@
+"""Task Bench: parameterized dependency-graph workloads + METG.
+
+A reproduction-side port of the Task Bench idea (Slaughter et al.;
+applied to HPX by Wu et al. and Lahnor et al., see PAPERS.md): instead
+of fixed applications, generate dependency graphs from a small set of
+shapes (``trivial``, ``stencil_1d``, ``fft``, ``tree``, ``random``)
+parameterized by width, steps, and grain size, and measure the runtime
+with the **minimum effective task granularity** (METG) metric — the
+smallest per-task grain at which parallel efficiency still reaches
+``1 - eps``, computed from the counter framework.
+"""
+
+from repro.taskbench.graph import SHAPES, TaskGraph, build_graph, graph_checksum
+from repro.taskbench.metg import MetgProbe, MetgResult, metg_sweep
+from repro.taskbench.workload import TASKBENCH_PRESETS, TaskBenchBenchmark
+
+__all__ = [
+    "SHAPES",
+    "TASKBENCH_PRESETS",
+    "MetgProbe",
+    "MetgResult",
+    "TaskBenchBenchmark",
+    "TaskGraph",
+    "build_graph",
+    "graph_checksum",
+    "metg_sweep",
+]

@@ -1,0 +1,193 @@
+"""Deterministic dependency-graph generation for Task Bench.
+
+A :class:`TaskGraph` is a layered DAG: ``steps`` timesteps, each with a
+row of points, and every point in step ``t`` depending only on points
+in step ``t - 1`` (acyclic by construction).  The five shapes mirror
+the standard Task Bench dependence patterns:
+
+- ``trivial``    — no edges (embarrassingly parallel);
+- ``stencil_1d`` — point ``p`` depends on ``{p-1, p, p+1}``;
+- ``fft``        — butterfly: ``p`` and ``p XOR 2^((t-1) mod log2 W)``
+  (width must be a power of two);
+- ``tree``       — fan-in reduction: the row halves every step;
+- ``random``     — each point keeps its own predecessor and adds edges
+  drawn from a seeded :class:`numpy.random.Generator` with expected
+  in-degree ``degree``.
+
+Every node carries a 64-bit token derived from the seed; a node's
+value mixes its token with its parents' values, and the graph checksum
+folds the last row — so both runtimes compute a verifiable result and
+regeneration under the same seed is bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.simcore.rng import derive_rng
+
+__all__ = ["SHAPES", "TaskGraph", "build_graph", "graph_checksum", "node_token", "mix"]
+
+SHAPES = ("trivial", "stencil_1d", "fft", "tree", "random")
+
+_MASK = (1 << 64) - 1
+
+
+def mix(a: int, b: int) -> int:
+    """64-bit mixing function (splitmix64 finalizer over ``a ^ h(b)``)."""
+    x = (a ^ ((b * 0x9E3779B97F4A7C15) & _MASK)) & _MASK
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK
+    return (x ^ (x >> 31)) & _MASK
+
+
+def node_token(seed: int, step: int, point: int) -> int:
+    """The 64-bit payload token of node ``(step, point)``."""
+    return mix(mix(seed & _MASK, step + 1), point + 1)
+
+
+def node_value(token: int, parent_values: tuple[int, ...]) -> int:
+    """A node's computed value: its token folded with its parents' values."""
+    acc = token
+    for value in parent_values:
+        acc = mix(acc, value)
+    return acc
+
+
+@dataclass(frozen=True)
+class TaskGraph:
+    """One generated dependency graph (deps fully materialized)."""
+
+    shape: str
+    width: int
+    steps: int
+    seed: int
+    degree: float
+    #: Row width per step (constant except for ``tree``).
+    row_widths: tuple[int, ...]
+    #: ``parents[t][p]`` — point indices in step ``t-1``; ``parents[0]`` empty.
+    parents: tuple[tuple[tuple[int, ...], ...], ...]
+
+    @property
+    def node_count(self) -> int:
+        """Total number of task nodes (the root/driver task excluded)."""
+        return sum(self.row_widths)
+
+    @property
+    def edge_count(self) -> int:
+        """Total number of dependency edges."""
+        return sum(len(deps) for row in self.parents for deps in row)
+
+    def nodes(self) -> Iterator[tuple[int, int]]:
+        """Every ``(step, point)`` in deterministic row-major order."""
+        for t, row_width in enumerate(self.row_widths):
+            for p in range(row_width):
+                yield (t, p)
+
+
+def _row_parents_trivial(width: int) -> tuple[tuple[int, ...], ...]:
+    return tuple(() for _ in range(width))
+
+
+def _row_parents_stencil(width: int) -> tuple[tuple[int, ...], ...]:
+    return tuple(tuple(q for q in (p - 1, p, p + 1) if 0 <= q < width) for p in range(width))
+
+
+def _row_parents_fft(width: int, step: int) -> tuple[tuple[int, ...], ...]:
+    radix = width.bit_length() - 1  # log2(width); width is a power of two
+    stride = 1 << ((step - 1) % radix) if radix else 0
+    out = []
+    for p in range(width):
+        partner = p ^ stride
+        out.append((p, partner) if stride and partner < width else (p,))
+    return tuple(out)
+
+
+def _row_parents_tree(prev_width: int, width: int) -> tuple[tuple[int, ...], ...]:
+    return tuple(tuple(q for q in (2 * p, 2 * p + 1) if q < prev_width) for p in range(width))
+
+
+def build_graph(
+    shape: str,
+    width: int,
+    steps: int,
+    *,
+    seed: int = 0,
+    degree: float = 3.0,
+) -> TaskGraph:
+    """Generate the dependency graph for one Task Bench configuration.
+
+    Only the ``random`` shape consumes randomness; its edges are drawn
+    once here, in a fixed order, from ``derive_rng(seed, "taskbench",
+    shape, width, steps)`` — so the same seed regenerates the same
+    graph bit for bit.
+    """
+    if shape not in SHAPES:
+        raise ValueError(f"unknown shape {shape!r}; expected one of {SHAPES}")
+    if width < 1 or steps < 1:
+        raise ValueError(f"width and steps must be >= 1, got width={width} steps={steps}")
+    if shape == "fft" and width & (width - 1):
+        raise ValueError(f"fft needs a power-of-two width, got {width}")
+    if shape == "random" and not 0.0 <= degree <= width:
+        raise ValueError(f"degree must be in [0, width], got {degree}")
+
+    row_widths = [width]
+    if shape == "tree":
+        for _ in range(steps - 1):
+            row_widths.append(max(1, (row_widths[-1] + 1) // 2))
+    else:
+        row_widths *= steps
+
+    rng = derive_rng(seed, "taskbench", shape, width, steps) if shape == "random" else None
+
+    rows: list[tuple[tuple[int, ...], ...]] = [_row_parents_trivial(width)]
+    for t in range(1, steps):
+        if shape == "trivial":
+            rows.append(_row_parents_trivial(width))
+        elif shape == "stencil_1d":
+            rows.append(_row_parents_stencil(width))
+        elif shape == "fft":
+            rows.append(_row_parents_fft(width, t))
+        elif shape == "tree":
+            rows.append(_row_parents_tree(row_widths[t - 1], row_widths[t]))
+        else:  # random
+            assert rng is not None
+            row = []
+            for p in range(width):
+                draws = rng.random(width)
+                extra = tuple(q for q in range(width) if q != p and draws[q] * width < degree)
+                row.append((p, *extra))
+            rows.append(tuple(row))
+
+    return TaskGraph(
+        shape=shape,
+        width=width,
+        steps=steps,
+        seed=seed,
+        degree=degree,
+        row_widths=tuple(row_widths),
+        parents=tuple(rows),
+    )
+
+
+def graph_checksum(graph: TaskGraph, seed: int) -> int:
+    """Sequential reference computation of the graph's final checksum.
+
+    Computes every node value row by row and folds the last row — the
+    value the task-parallel execution must reproduce on either runtime.
+    """
+    prev: list[int] = []
+    for t, row_width in enumerate(graph.row_widths):
+        cur = [
+            node_value(
+                node_token(seed, t, p),
+                tuple(prev[q] for q in graph.parents[t][p]),
+            )
+            for p in range(row_width)
+        ]
+        prev = cur
+    acc = 0
+    for value in prev:
+        acc = mix(acc, value)
+    return acc

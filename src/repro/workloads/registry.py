@@ -1,0 +1,116 @@
+"""The workload registry: every runnable workload, by name.
+
+Both workload families register here — the fourteen Inncabs
+applications (with their small/default/large presets) and the Task
+Bench dependency-graph generator — so discovery, validation, preset
+resolution and error messages are uniform across ``Session``,
+campaigns, the serve layer and the CLI.
+
+``repro.inncabs.suite.available_benchmarks`` deliberately stays
+Inncabs-only (the paper's Table V surface); this registry is the
+superset layered on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.inncabs.base import Benchmark
+
+__all__ = [
+    "WorkloadEntry",
+    "available_workloads",
+    "get_workload",
+    "register_workload",
+    "workload_preset_params",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadEntry:
+    """One registered workload: a benchmark plus its preset table."""
+
+    name: str
+    family: str  # "inncabs" | "taskbench" | third-party
+    benchmark: Benchmark
+    #: Preset name -> parameter overrides ("default" is implicit and empty).
+    presets: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+    description: str = ""
+
+
+_WORKLOADS: dict[str, WorkloadEntry] = {}
+_LOADED = False
+
+
+def register_workload(entry: WorkloadEntry) -> None:
+    """Add *entry* to the registry; duplicate names are an error."""
+    if entry.name in _WORKLOADS:
+        raise ValueError(f"workload {entry.name!r} already registered")
+    _WORKLOADS[entry.name] = entry
+
+
+def _ensure_loaded() -> None:
+    """Populate the registry on first use (import cycles forbid eager)."""
+    global _LOADED
+    if _LOADED:
+        return
+    _LOADED = True
+    from repro.inncabs.presets import PRESETS
+    from repro.inncabs.suite import available_benchmarks, get_benchmark
+    from repro.taskbench.workload import TASKBENCH_PRESETS, TaskBenchBenchmark
+
+    for name in available_benchmarks():
+        bench = get_benchmark(name)
+        register_workload(
+            WorkloadEntry(
+                name=name,
+                family="inncabs",
+                benchmark=bench,
+                presets=PRESETS.get(name, {}),
+                description=bench.info.description,
+            )
+        )
+    taskbench = TaskBenchBenchmark()
+    register_workload(
+        WorkloadEntry(
+            name=taskbench.info.name,
+            family="taskbench",
+            benchmark=taskbench,
+            presets=TASKBENCH_PRESETS,
+            description=taskbench.info.description,
+        )
+    )
+
+
+def available_workloads() -> list[str]:
+    """Names of every registered workload (alphabetical)."""
+    _ensure_loaded()
+    return sorted(_WORKLOADS)
+
+
+def get_workload(name: str) -> WorkloadEntry:
+    """Look a workload up by name; ``KeyError`` lists valid names on miss."""
+    _ensure_loaded()
+    try:
+        return _WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(available_workloads())}"
+        ) from None
+
+
+def workload_preset_params(name: str, preset: str) -> dict[str, Any]:
+    """Parameter overrides for *name* under *preset*.
+
+    ``default`` is always the empty override; raises ``KeyError`` for
+    unknown workloads or presets (listing the valid choices).
+    """
+    entry = get_workload(name)
+    if preset == "default":
+        return {}
+    try:
+        return dict(entry.presets[preset])
+    except KeyError:
+        known = ", ".join(["default", *sorted(entry.presets)])
+        raise KeyError(f"unknown preset {preset!r} for {name}; choose from: {known}") from None

@@ -38,8 +38,13 @@ def test_minimal_request_defaults():
     "body,fragment",
     [
         ("not a dict", "JSON object"),
-        ({}, "unknown benchmark"),
-        ({"benchmark": "nope"}, "unknown benchmark"),
+        ({}, "unknown workload"),
+        ({"benchmark": "nope"}, "unknown workload"),
+        ({"benchmark": "fib", "workload": "fib"}, "not both"),
+        ({"workload": "fib:bogus"}, "bad workload"),
+        ({"workload": {"name": "fib", "extra": 1}}, "bad workload"),
+        ({"workload": 7}, "bad workload"),
+        ({"workload": "fib", "params": {"zzz": 1}}, "unknown parameters"),
         ({"benchmark": "fib", "runtime": "tbb"}, "unknown runtime"),
         ({"benchmark": "fib", "cores": 0}, "cores"),
         ({"benchmark": "fib", "cores": True}, "cores"),
@@ -78,6 +83,39 @@ def test_cache_key_is_the_campaign_cell_key():
     assert request.cache_key() == cell_cache_key(spec, cell)
 
 
+def test_workload_field_equivalent_to_benchmark_field():
+    legacy = RunRequest.from_json({"benchmark": "fib", "params": {"n": 12}})
+    spelled = RunRequest.from_json({"workload": "fib:n=12"})
+    objected = RunRequest.from_json({"workload": {"name": "fib", "params": {"n": 12}}})
+    assert legacy == spelled == objected
+    assert legacy.cache_key() == spelled.cache_key() == objected.cache_key()
+
+
+def test_request_params_overlay_workload_params():
+    request = RunRequest.from_json({"workload": "fib:n=12", "params": {"n": 9}})
+    assert request.params == {"n": 9}
+
+
+def test_every_spelling_of_one_workload_shares_one_cache_key():
+    """The acceptance guarantee: a campaign matrix entry, the legacy
+    serve body, and the workload-spec serve body all hash to one cell."""
+    spec = CampaignSpec(
+        benchmarks=("taskbench:shape=fft,steps=4,width=8",),
+        runtimes=("hpx",),
+        core_counts=(2,),
+        samples=1,
+    )
+    cell_key = cell_cache_key(spec, next(spec.cells()))
+    params = {"shape": "fft", "width": 8, "steps": 4}
+    bodies = [
+        {"benchmark": "taskbench", "cores": 2, "params": params},
+        {"workload": "taskbench:shape=fft,width=8,steps=4", "cores": 2},
+        {"workload": {"name": "taskbench", "params": params}, "cores": 2},
+    ]
+    for body in bodies:
+        assert RunRequest.from_json(body).cache_key() == cell_key
+
+
 def test_cache_key_varies_with_inputs():
     base = RunRequest.from_json({"benchmark": "fib"})
     assert base.cache_key() == RunRequest.from_json({"benchmark": "fib"}).cache_key()
@@ -90,6 +128,29 @@ def test_cache_key_varies_with_inputs():
         {"benchmark": "sort"},
     ):
         assert RunRequest.from_json(variant).cache_key() != base.cache_key()
+
+
+def test_campaign_run_is_a_server_cache_hit(tmp_path):
+    """A cell executed by ``repro campaign`` satisfies the equivalent
+    ``POST /runs`` body straight from the shared result cache."""
+    from repro.campaign.cache import ResultCache
+    from repro.campaign.engine import run_campaign
+
+    spec = CampaignSpec(
+        benchmarks=("taskbench:grain_ns=500,shape=trivial,steps=2,width=4",),
+        runtimes=("hpx",),
+        core_counts=(2,),
+        samples=1,
+    )
+    cache = ResultCache(tmp_path / "cache")
+    run_campaign(spec, cache=cache)
+    request = RunRequest.from_json(
+        {
+            "workload": "taskbench:shape=trivial,width=4,steps=2,grain_ns=500",
+            "cores": 2,
+        }
+    )
+    assert cache.load(request.cache_key()) is not None
 
 
 # -- the bounded queue -------------------------------------------------------

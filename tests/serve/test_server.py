@@ -260,7 +260,8 @@ def test_http_error_surface():
         assert (await http_request(host, port, "POST", "/runs", body=b"{]")).status == 400
         bad = await http_request(host, port, "POST", "/runs", body=b'{"benchmark":"nope"}')
         assert bad.status == 400
-        assert "unknown benchmark" in bad.json()["error"]
+        assert "unknown workload" in bad.json()["error"]
+        assert "taskbench" in bad.json()["error"]
         queued = await client.submit(**FIB)
         bad_wait = await http_request(host, port, "GET", f"/runs/{queued['id']}?wait=soon")
         assert bad_wait.status == 400

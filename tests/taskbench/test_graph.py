@@ -1,0 +1,125 @@
+"""Graph-generator properties: closed-form counts, acyclicity, determinism."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.taskbench import SHAPES, build_graph, graph_checksum
+
+widths = st.integers(min_value=1, max_value=64)
+steps_ = st.integers(min_value=1, max_value=16)
+pow2_widths = st.integers(min_value=0, max_value=6).map(lambda k: 1 << k)
+seeds = st.integers(min_value=0, max_value=2**63)
+
+
+# -- closed-form node and edge counts ----------------------------------------
+
+
+@given(widths, steps_)
+def test_trivial_counts(width, steps):
+    graph = build_graph("trivial", width, steps)
+    assert graph.node_count == width * steps
+    assert graph.edge_count == 0
+
+
+@given(widths, steps_)
+def test_stencil_counts(width, steps):
+    graph = build_graph("stencil_1d", width, steps)
+    assert graph.node_count == width * steps
+    per_step = 3 * width - 2 if width >= 2 else 1
+    assert graph.edge_count == (steps - 1) * per_step
+
+
+@given(pow2_widths, steps_)
+def test_fft_counts(width, steps):
+    graph = build_graph("fft", width, steps)
+    assert graph.node_count == width * steps
+    per_step = 2 * width if width >= 2 else 1
+    assert graph.edge_count == (steps - 1) * per_step
+
+
+@given(widths, steps_)
+def test_tree_counts(width, steps):
+    graph = build_graph("tree", width, steps)
+    # Rows halve (rounding up), never below one point.
+    for prev, cur in zip(graph.row_widths, graph.row_widths[1:]):
+        assert cur == max(1, (prev + 1) // 2)
+    assert graph.node_count == sum(graph.row_widths)
+    # Fan-in: every point of a row feeds exactly one point of the next.
+    assert graph.edge_count == sum(graph.row_widths[:-1])
+
+
+@given(widths, steps_, seeds, st.floats(min_value=0.0, max_value=4.0))
+def test_random_counts_and_self_edge(width, steps, seed, degree):
+    graph = build_graph("random", width, steps, seed=seed, degree=min(degree, width))
+    assert graph.node_count == width * steps
+    for row in graph.parents[1:]:
+        for p, parents in enumerate(row):
+            assert p in parents  # every point keeps its own predecessor
+            assert len(parents) == len(set(parents))
+    assert graph.edge_count >= (steps - 1) * width
+
+
+# -- structure ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+def test_acyclic_by_construction(shape):
+    width = 16  # power of two so fft is admissible
+    graph = build_graph(shape, width, 8, seed=3)
+    assert graph.parents[0] == tuple(() for _ in range(width))
+    for t in range(1, len(graph.row_widths)):
+        prev_width = graph.row_widths[t - 1]
+        assert len(graph.parents[t]) == graph.row_widths[t]
+        for parents in graph.parents[t]:
+            assert all(0 <= q < prev_width for q in parents)
+
+
+def test_nodes_iterates_row_major():
+    graph = build_graph("tree", 5, 3)
+    nodes = list(graph.nodes())
+    assert len(nodes) == graph.node_count
+    assert nodes == sorted(nodes)
+
+
+# -- determinism -------------------------------------------------------------
+
+
+@given(seeds)
+def test_random_regenerates_bit_identical(seed):
+    a = build_graph("random", 12, 5, seed=seed, degree=2.0)
+    b = build_graph("random", 12, 5, seed=seed, degree=2.0)
+    assert a == b
+
+
+def test_random_seed_changes_graph():
+    a = build_graph("random", 32, 8, seed=1)
+    b = build_graph("random", 32, 8, seed=2)
+    assert a.parents != b.parents
+
+
+def test_checksum_deterministic_and_seed_sensitive():
+    graph = build_graph("stencil_1d", 8, 4)
+    assert graph_checksum(graph, 7) == graph_checksum(graph, 7)
+    assert graph_checksum(graph, 7) != graph_checksum(graph, 8)
+
+
+# -- validation --------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "kwargs,fragment",
+    [
+        (dict(shape="mesh", width=4, steps=2), "unknown shape"),
+        (dict(shape="trivial", width=0, steps=2), "width and steps"),
+        (dict(shape="trivial", width=4, steps=0), "width and steps"),
+        (dict(shape="fft", width=6, steps=2), "power-of-two"),
+        (dict(shape="random", width=4, steps=2, degree=5.0), "degree"),
+        (dict(shape="random", width=4, steps=2, degree=-1.0), "degree"),
+    ],
+)
+def test_invalid_configurations_rejected(kwargs, fragment):
+    with pytest.raises(ValueError, match=fragment):
+        build_graph(kwargs.pop("shape"), kwargs.pop("width"), kwargs.pop("steps"), **kwargs)

@@ -1,0 +1,115 @@
+"""METG(eps) sweep: bracketing, determinism, samples, the golden fixture."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.taskbench import MetgResult, metg_sweep
+from repro.taskbench.metg import GRAIN_CAP_NS, REL_TOL_SHIFT
+
+FIXTURE = Path(__file__).resolve().parent.parent / "fixtures" / "metg_trivial_ivybridge.json"
+
+QUICK = dict(shape="trivial", width=16, steps=4, cores=4, platform="desktop-1x8")
+
+
+def test_sweep_finds_a_grain():
+    result = metg_sweep(**QUICK)
+    assert isinstance(result, MetgResult)
+    assert result.metg_ns is not None
+    assert result.runtime == "hpx"
+    assert result.platform == "desktop-1x8"
+    assert result.target_efficiency == 0.5
+    # The winning grain really meets the target, and the probe record
+    # contains a failing grain below it (the bracket's lower edge).
+    by_grain = {p.grain_ns: p for p in result.probes}
+    assert by_grain[result.metg_ns].efficiency >= result.target_efficiency
+    assert any(
+        p.grain_ns < result.metg_ns and p.efficiency < result.target_efficiency
+        for p in result.probes
+    )
+
+
+def test_sweep_respects_relative_tolerance():
+    result = metg_sweep(**QUICK)
+    assert result.metg_ns is not None
+    failing = [
+        p.grain_ns
+        for p in result.probes
+        if p.efficiency < result.target_efficiency and p.grain_ns < result.metg_ns
+    ]
+    lo = max(failing)
+    assert result.metg_ns - lo <= max(1, result.metg_ns >> REL_TOL_SHIFT)
+
+
+def test_sweep_is_bit_identical():
+    a = metg_sweep(**QUICK)
+    b = metg_sweep(**QUICK)
+    assert a.to_json_dict() == b.to_json_dict()
+
+
+def test_unreachable_target_returns_none():
+    # One point on four cores cannot exceed 25 % efficiency: the sweep
+    # must give up at the cap rather than loop forever.
+    result = metg_sweep(shape="trivial", width=1, steps=2, cores=4, eps=0.1, platform="desktop-1x8")
+    assert result.metg_ns is None
+    assert max(p.grain_ns for p in result.probes) >= GRAIN_CAP_NS
+
+
+def test_progress_sees_every_probe():
+    seen = []
+    result = metg_sweep(**QUICK, progress=seen.append)
+    assert seen == list(result.probes)
+
+
+@pytest.mark.parametrize("kwargs", [dict(eps=0.0), dict(eps=1.0), dict(grain_start_ns=0)])
+def test_sweep_validates_inputs(kwargs):
+    with pytest.raises(ValueError):
+        metg_sweep(**{**QUICK, **kwargs})
+
+
+def test_samples_follow_the_counter_name_grammar():
+    result = metg_sweep(**QUICK)
+    samples = result.to_samples("run-1")
+    efficiency = [s for s in samples if "/efficiency@" in s.name]
+    metg = [s for s in samples if "/metg@" in s.name]
+    assert len(efficiency) == len(result.probes)
+    assert all(s.name.startswith("/taskbench{locality#0/trivial}/") for s in samples)
+    assert all(s.unit == "0.01%" for s in efficiency)
+    assert [s.name for s in metg] == ["/taskbench{locality#0/trivial}/metg@0.5"]
+    assert metg[0].value == float(result.metg_ns)
+    assert metg[0].unit == "ns"
+    assert all(s.run_id == "run-1" for s in samples)
+
+
+# -- the golden fixture ------------------------------------------------------
+
+
+def test_golden_metg_fixture():
+    """The committed sweep on the paper's node reproduces bit for bit.
+
+    The fixture is the ``repro taskbench --shape trivial --width 64
+    --steps 16 --platform ivybridge-2x10 --out ...`` JSON; regenerate
+    it with that command if an intentional model change shifts METG.
+    """
+    golden = json.loads(FIXTURE.read_text())
+    results = {
+        runtime: metg_sweep(
+            shape="trivial",
+            width=64,
+            steps=16,
+            runtime=runtime,
+            cores=20,
+            platform="ivybridge-2x10",
+        )
+        for runtime in ("hpx", "std")
+    }
+    assert golden["results"] == [
+        results["hpx"].to_json_dict(),
+        results["std"].to_json_dict(),
+    ]
+    # The paper's headline contrast: thread-per-task needs a far coarser
+    # grain than the user-level task runtime to stay efficient.
+    assert results["std"].metg_ns > 10 * results["hpx"].metg_ns

@@ -1,5 +1,7 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -83,8 +85,8 @@ def test_bad_param_format():
 
 
 def test_unknown_benchmark_rejected():
-    with pytest.raises(SystemExit):
-        build_parser().parse_args(["run", "linpack"])
+    with pytest.raises(SystemExit, match="unknown workload"):
+        main(["run", "linpack"])
 
 
 def test_figure_unknown():
@@ -429,3 +431,107 @@ def test_counters_query_bad_spec_errors(capsys):
     code = main(["counters", "query", "/no-such/counter", "--param", "n=8"])
     assert code == 2
     assert "error:" in capsys.readouterr().err
+
+
+def test_workloads_list(capsys):
+    assert main(["workloads", "list"]) == 0
+    out = capsys.readouterr().out
+    assert len(out.strip().splitlines()) == 15
+    assert "taskbench" in out and "fib" in out
+    assert "presets=default,large,small" in out
+
+
+def test_workloads_show(capsys):
+    assert main(["workloads", "show", "taskbench"]) == 0
+    out = capsys.readouterr().out
+    assert "taskbench (taskbench)" in out
+    assert "shape = 'stencil_1d'" in out
+    assert "preset small: width=8, steps=4" in out
+
+
+def test_workloads_show_unknown(capsys):
+    assert main(["workloads", "show", "linpack"]) == 2
+    assert "unknown workload" in capsys.readouterr().err
+
+
+def test_run_accepts_workload_spec(capsys):
+    code = main(["run", "taskbench:shape=trivial,width=4,steps=2", "--no-counters"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "verified=True" in out
+
+
+def test_run_workload_option(capsys):
+    code = main(["run", "--workload", "fib:n=9", "--no-counters"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "verified=True" in out
+
+
+def test_run_rejects_two_workload_names():
+    with pytest.raises(SystemExit, match="exactly one workload"):
+        main(["run", "fib", "--workload", "sort"])
+
+
+def test_run_param_overridden_by_embedded_spec_param(capsys):
+    # Embedded spec parameters are more specific than --param.
+    code = main(["run", "fib:n=9", "--param", "n=25", "--no-counters"])
+    assert code == 0
+
+
+def test_taskbench_cli_writes_deterministic_json(tmp_path, capsys):
+    argv = [
+        "taskbench",
+        "--shape",
+        "trivial",
+        "--width",
+        "8",
+        "--steps",
+        "2",
+        "--runtime",
+        "hpx",
+        "--cores",
+        "4",
+        "--platform",
+        "desktop-1x8",
+    ]
+    first, second = tmp_path / "a.json", tmp_path / "b.json"
+    assert main([*argv, "--out", str(first)]) == 0
+    out = capsys.readouterr().out
+    assert "METG(0.5) = " in out
+    assert "[hpx, 4 cores, desktop-1x8]" in out
+    assert main([*argv, "--out", str(second)]) == 0
+    assert first.read_text() == second.read_text()
+    payload = json.loads(first.read_text())
+    assert [r["runtime"] for r in payload["results"]] == ["hpx"]
+    assert payload["results"][0]["metg_ns"] is not None
+
+
+def test_taskbench_cli_samples_out(tmp_path, capsys):
+    samples = tmp_path / "samples.jsonl"
+    code = main(
+        [
+            "taskbench",
+            "--shape",
+            "trivial",
+            "--width",
+            "8",
+            "--steps",
+            "2",
+            "--runtime",
+            "hpx",
+            "--cores",
+            "4",
+            "--platform",
+            "desktop-1x8",
+            "--samples-out",
+            str(samples),
+            "--verbose",
+        ]
+    )
+    assert code == 0
+    assert "grain=" in capsys.readouterr().err  # --verbose probe stream
+    rows = [json.loads(line) for line in samples.read_text().splitlines()]
+    names = {row["name"] for row in rows}
+    assert "/taskbench{locality#0/trivial}/metg@0.5" in names
+    assert any("/efficiency@" in name for name in names)
