@@ -32,9 +32,9 @@ The package provides:
 
 Quickstart::
 
-    from repro import Session
+    from repro import Session, WorkloadSpec
     session = Session(runtime="hpx", cores=4)
-    result = session.run("fib")
+    result = session.run(WorkloadSpec.parse("fib"))
     print(result.exec_time_us)
 """
 

@@ -3,10 +3,12 @@
 Wires an engine, a simulated machine, a runtime, and the counter stack
 together behind two calls::
 
-    from repro.api import Session
+    from repro.api import Session, WorkloadSpec
 
     session = Session(runtime="hpx", cores=8)
-    result = session.run("fib", counters=["/threads{locality#0/total}/idle-rate"])
+    result = session.run(
+        WorkloadSpec.parse("fib"), counters=["/threads{locality#0/total}/idle-rate"]
+    )
     print(result.exec_time_ms, result.counters)
 
 A :class:`Session` fixes the *environment* (machine spec, runtime kind,
@@ -26,7 +28,7 @@ from dataclasses import replace
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.counters.base import CounterEnvironment
-from repro.counters.registry import build_default_registry
+from repro.counters.providers import build_registry
 from repro.exec.errors import DeadlockError
 from repro.experiments.config import DEFAULT_COUNTERS, ExperimentConfig
 from repro.experiments.runner import RunResult
@@ -201,7 +203,7 @@ class Session:
             env = CounterEnvironment(
                 engine=engine, runtime=rt, machine=machine, papi=PapiSubstrate(machine)
             )
-            registry = build_default_registry(env)
+            registry = build_registry(env, workload=workload.name)
             specs = counters
             if specs is None and tele is not None:
                 specs = tele.counters

@@ -49,10 +49,11 @@ class CampaignRun:
 def execute_cell(spec: CampaignSpec, cell: Cell) -> dict[str, Any]:
     """Run one cell to completion; the process-pool worker entry point."""
     from repro.api import Session
+    from repro.workloads import WorkloadSpec
 
     session = Session(runtime=cell.runtime, cores=cell.cores, config=spec.experiment_config(cell))
     result = session.run(
-        cell.benchmark,
+        WorkloadSpec.parse(cell.benchmark),
         params=spec.cell_params(cell),
         counters=spec.counter_specs,
         collect_counters=spec.collect_counters,

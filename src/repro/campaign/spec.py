@@ -38,7 +38,11 @@ from repro.simcore.machine import MachineSpec
 #: v5: cells name workloads (``WorkloadSpec`` canonical strings) — the
 #: key hashes the parsed workload name with its parameters folded into
 #: ``params``, so every spelling of one workload shares one entry.
-CACHE_KEY_VERSION = 5
+#: v6: the key folds in the counter-provider identity (built-ins,
+#: workload-attached providers, installed entry points) — a new plugin
+#: or workload provider can change which counters a run collects, so
+#: it must invalidate the cell.
+CACHE_KEY_VERSION = 6
 
 RUNTIMES = ("hpx", "std")
 
@@ -92,14 +96,14 @@ class CampaignSpec:
     counter_specs: tuple[str, ...] | None = None  # None: the paper's set
 
     def __post_init__(self) -> None:
-        from repro.workloads import as_workload_spec
+        from repro.workloads import WorkloadSpec
 
         # Normalize every entry to the canonical WorkloadSpec spelling
         # (validating the name and parameter keys up front), so cells,
         # artifacts and cache keys never see spelling variants.
         normalized = []
         for entry in self.benchmarks:
-            workload = as_workload_spec(entry)
+            workload = entry if isinstance(entry, WorkloadSpec) else WorkloadSpec.parse(entry)
             workload.validate()
             normalized.append(workload.canonical())
         object.__setattr__(self, "benchmarks", tuple(normalized))
@@ -251,8 +255,10 @@ def cell_cache_key(spec: CampaignSpec, cell: Cell) -> str:
     differing only in platform hash differently), the cost model of
     the *cell's own* runtime (an ``hpx`` cell is not invalidated by a
     ``std::async`` recalibration and vice versa), the counter
-    configuration (counters instrument both runtimes), the package
-    version, and :data:`CACHE_KEY_VERSION`.
+    configuration (counters instrument both runtimes), the counter
+    *provider* identity (built-ins, the workload's own providers, and
+    installed entry-point plugins — what is available to collect), the
+    package version, and :data:`CACHE_KEY_VERSION`.
 
     The payload's ``benchmark`` is the parsed workload *name* alone —
     parameters embedded in the cell's canonical spelling are already
@@ -261,13 +267,15 @@ def cell_cache_key(spec: CampaignSpec, cell: Cell) -> str:
     "taskbench", "params": {"shape": "fft"}}`` over the serve API hash
     to the same entry.
     """
+    from repro.counters.providers import provider_identity
     from repro.workloads import WorkloadSpec
 
     assert spec.std is not None
+    workload_name = WorkloadSpec.parse(cell.benchmark).name
     payload: dict[str, Any] = {
         "cache_key_version": CACHE_KEY_VERSION,
         "code_version": __version__,
-        "benchmark": WorkloadSpec.parse(cell.benchmark).name,
+        "benchmark": workload_name,
         "runtime": cell.runtime,
         "cores": cell.cores,
         "seed": cell.seed,
@@ -275,6 +283,7 @@ def cell_cache_key(spec: CampaignSpec, cell: Cell) -> str:
         "platform": spec.platform.to_json_dict(),
         "collect_counters": spec.collect_counters,
         "counter_specs": list(spec.counter_specs) if spec.counter_specs else None,
+        "counter_providers": list(provider_identity(workload=workload_name)),
     }
     if cell.runtime == "hpx":
         payload["hpx"] = asdict(spec.hpx)

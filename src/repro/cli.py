@@ -42,7 +42,6 @@ from typing import Any, Sequence
 
 from repro.counters.base import CounterEnvironment
 from repro.counters.manager import format_counter_values
-from repro.counters.registry import build_default_registry
 from repro.experiments.config import DEFAULT_COUNTERS, ExperimentConfig
 from repro.experiments.figures import (
     BANDWIDTH_FIGURES,
@@ -150,17 +149,46 @@ def cmd_list_benchmarks(_args: argparse.Namespace) -> int:
 
 
 def cmd_list_counters(args: argparse.Namespace) -> int:
+    import fnmatch
+
+    from repro.counters.providers import build_registry
+    from repro.platform.presets import resolve_platform
+    from repro.workloads import WorkloadSpec
+
+    workload_name = None
+    if getattr(args, "workload", None):
+        try:
+            workload = WorkloadSpec.parse(args.workload)
+            workload.validate()
+        except (ValueError, KeyError) as exc:
+            print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+            return 2
+        workload_name = workload.name
+    try:
+        platform = resolve_platform(args.platform)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # Cores follow the named platform's full shape unless given
+    # explicitly; the bare invocation keeps its historical 4 workers.
+    cores = args.cores if args.cores is not None else (platform.total_cores if args.platform else 4)
     engine = Engine()
-    machine = Machine()
-    runtime = HpxRuntime(engine, machine, num_workers=args.cores)
+    machine = Machine(platform)
+    runtime = HpxRuntime(engine, machine, num_workers=cores)
     env = CounterEnvironment(
         engine=engine, runtime=runtime, machine=machine, papi=PapiSubstrate(machine)
     )
-    registry = build_default_registry(env)
+    registry = build_registry(env, workload=workload_name)
+    provider_filters = list(getattr(args, "providers", None) or [])
     for entry in registry.counter_types(args.pattern):
         info = entry.info
+        provider = registry.provider_of(info.type_name) or "builtin"
+        if provider_filters and not any(
+            fnmatch.fnmatch(provider, pat) for pat in provider_filters
+        ):
+            continue
         unit = f" [{info.unit}]" if info.unit else ""
-        print(f"{info.type_name:55s} {info.counter_type.value:25s}{unit}")
+        print(f"{info.type_name:55s} {info.counter_type.value:25s} {provider:18s}{unit}")
         if args.verbose:
             print(f"    {info.help_text}")
             for inst_name, inst_index in entry.instances(registry.env):
@@ -641,19 +669,45 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("list-benchmarks", help="list the Inncabs suite")
     p.set_defaults(fn=cmd_list_benchmarks)
 
+    def add_list_counters_options(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--pattern", default=None, help="glob over type names")
+        parser.add_argument(
+            "--cores",
+            type=int,
+            default=None,
+            help="worker count the instance lists reflect "
+            "(default: 4, or the named --platform's full core count)",
+        )
+        parser.add_argument("--verbose", action="store_true", help="show help text and instances")
+        parser.add_argument(
+            "--workload",
+            default=None,
+            metavar="NAME[:key=val,...]",
+            help="also list the counter types this workload's own providers add",
+        )
+        parser.add_argument(
+            "--platform",
+            default=None,
+            metavar="NAME|FILE",
+            help="simulated node: preset name or platform file (default: ivybridge-2x10)",
+        )
+        parser.add_argument(
+            "--providers",
+            action="append",
+            default=None,
+            metavar="GLOB",
+            help="only show counter types from matching providers "
+            "(repeatable; e.g. --providers 'builtin.*' --providers fmm)",
+        )
+        parser.set_defaults(fn=cmd_list_counters)
+
     p = sub.add_parser("list-counters", help="list available counter types")
-    p.add_argument("--pattern", default=None, help="glob over type names")
-    p.add_argument("--cores", type=int, default=4)
-    p.add_argument("--verbose", action="store_true", help="show help text and instances")
-    p.set_defaults(fn=cmd_list_counters)
+    add_list_counters_options(p)
 
     p = sub.add_parser("counters", help="telemetry front door: list counter types, stream samples")
     counters_sub = p.add_subparsers(dest="counters_command", required=True)
     pc = counters_sub.add_parser("list", help="list available counter types")
-    pc.add_argument("--pattern", default=None, help="glob over type names")
-    pc.add_argument("--cores", type=int, default=4)
-    pc.add_argument("--verbose", action="store_true", help="show help text and instances")
-    pc.set_defaults(fn=cmd_list_counters)
+    add_list_counters_options(pc)
     pc = counters_sub.add_parser(
         "query", help="run a benchmark and stream every counter sample (CSV or JSON lines)"
     )

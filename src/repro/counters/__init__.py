@@ -26,22 +26,43 @@ in Section V-C.
 from repro.counters.base import CounterEnvironment, CounterInfo, PerformanceCounter
 from repro.counters.manager import ActiveCounters
 from repro.counters.names import CounterName, format_counter_name, parse_counter_name
+from repro.counters.providers import (
+    ENTRY_POINT_GROUP,
+    AppCounter,
+    AppCounterSet,
+    CounterProvider,
+    ProviderError,
+    build_registry,
+    builtin_providers,
+    entry_point_providers,
+    provider_identity,
+)
 from repro.counters.query import PeriodicQuery
-from repro.counters.registry import CounterRegistry, build_default_registry
+from repro.counters.registry import CounterRegistry, CounterTypeEntry, build_default_registry
 from repro.counters.types import CounterStatus, CounterType, CounterValue
 
 __all__ = [
+    "ENTRY_POINT_GROUP",
     "ActiveCounters",
+    "AppCounter",
+    "AppCounterSet",
     "CounterEnvironment",
     "CounterInfo",
     "CounterName",
+    "CounterProvider",
     "CounterRegistry",
     "CounterStatus",
     "CounterType",
+    "CounterTypeEntry",
     "CounterValue",
     "PerformanceCounter",
     "PeriodicQuery",
+    "ProviderError",
     "build_default_registry",
+    "build_registry",
+    "builtin_providers",
+    "entry_point_providers",
     "format_counter_name",
     "parse_counter_name",
+    "provider_identity",
 ]

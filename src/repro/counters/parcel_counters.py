@@ -104,3 +104,27 @@ def register_distributed_counters(registry: CounterRegistry, locality: Any, syst
         "AGAS cache misses across localities",
         lambda: agas_stats.cache_misses,
     )
+
+
+class DistributedCounterProvider:
+    """The /parcels + /agas groups as a per-locality counter provider.
+
+    Unlike the stateless built-ins, this provider closes over one
+    locality and its owning system, so each locality's registry
+    installs its own instance (``registry.install(...)`` in
+    :class:`repro.distributed.system.Locality`).
+    """
+
+    name = "builtin.distributed"
+
+    def __init__(self, locality: Any, system: Any) -> None:
+        self._locality = locality
+        self._system = system
+
+    def counter_types(self, env: CounterEnvironment) -> list[CounterTypeEntry]:
+        """Replay the legacy registration through an entry collector."""
+        from repro.counters.providers import _EntryCollector
+
+        collector = _EntryCollector(env)
+        register_distributed_counters(collector, self._locality, self._system)  # type: ignore[arg-type]
+        return collector.entries

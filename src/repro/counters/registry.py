@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import fnmatch
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import Any, Callable, Iterable
 
 from repro.counters.aggregating import DEFAULT_WINDOW, StatisticsCounter
 from repro.counters.arithmetic import ArithmeticCounter
@@ -53,14 +53,60 @@ class CounterRegistry:
         self.env = env
         env.registry = self
         self._types: dict[str, CounterTypeEntry] = {}
+        # Counter type name -> provider identity ("" for direct register()).
+        self._provenance: dict[str, str] = {}
 
     # -- registration ------------------------------------------------------
 
-    def register(self, entry: CounterTypeEntry) -> None:
+    def register(self, entry: CounterTypeEntry, *, provider: str = "") -> None:
+        """Add one counter type; duplicate type names are an error."""
         type_name = entry.info.type_name
         if type_name in self._types:
             raise ValueError(f"counter type {type_name} already registered")
         self._types[type_name] = entry
+        self._provenance[type_name] = provider
+
+    def install(self, provider: "Any") -> list[str]:
+        """Install every counter type a :class:`CounterProvider` declares.
+
+        Type names are validated against the ``/object/counter`` grammar
+        and checked for conflicts across providers; violations raise
+        :class:`~repro.counters.providers.ProviderError` with an
+        actionable message.  Returns the installed type names.
+        """
+        from repro.counters.providers import (
+            ProviderError,
+            validate_provider_name,
+            validate_type_name,
+        )
+
+        pname = validate_provider_name(getattr(provider, "name", None))
+        installed: list[str] = []
+        for entry in provider.counter_types(self.env):
+            type_name = validate_type_name(pname, entry.info.type_name)
+            if type_name in self._types:
+                holder = self._provenance.get(type_name) or "direct registration"
+                raise ProviderError(
+                    f"provider {pname!r} declares counter type {type_name!r} already "
+                    f"registered by {holder!r}; counter type names must be unique "
+                    f"across providers — pick a distinct /object or counter name"
+                )
+            self._types[type_name] = entry
+            self._provenance[type_name] = pname
+            installed.append(type_name)
+        return installed
+
+    def provider_of(self, type_name: str) -> str:
+        """Provider identity that registered *type_name* ("" if direct)."""
+        return self._provenance.get(type_name, "")
+
+    def providers(self) -> list[str]:
+        """Distinct provider identities present in this registry."""
+        seen: list[str] = []
+        for pname in self._provenance.values():
+            if pname and pname not in seen:
+                seen.append(pname)
+        return seen
 
     # -- listing / discovery --------------------------------------------------
 
@@ -165,18 +211,14 @@ class CounterRegistry:
 
 
 def build_default_registry(env: CounterEnvironment) -> CounterRegistry:
-    """Registry with every built-in counter type wired to *env*."""
-    # Imported here to avoid a cycle (the wiring modules import registry types).
-    from repro.counters.threads_counters import register_threads_counters
-    from repro.counters.papi_counters import register_papi_counters
-    from repro.counters.runtime_counters import register_runtime_counters
-    from repro.counters.taskbench_counters import register_taskbench_counters
+    """Registry with every built-in counter type wired to *env*.
 
-    registry = CounterRegistry(env)
-    if env.runtime is not None:
-        register_threads_counters(registry)
-        register_runtime_counters(registry)
-        register_taskbench_counters(registry)
-    if env.papi is not None:
-        register_papi_counters(registry)
-    return registry
+    Legacy spelling of :func:`repro.counters.providers.build_registry`
+    without a workload: the built-in provider chain (gated on the
+    environment exactly as before) plus any third-party providers
+    installed through the ``repro.counter_providers`` entry-point group.
+    """
+    # Imported here to avoid a cycle (providers imports registry types).
+    from repro.counters.providers import build_registry
+
+    return build_registry(env)

@@ -98,10 +98,10 @@ class DistributedSystem:
         ports = {loc.id: loc.parcelport for loc in self.localities}
         for loc in self.localities:
             loc.parcelport.connect(ports, lambda parcel, loc=loc: self._deliver(loc, parcel))
-        from repro.counters.parcel_counters import register_distributed_counters
+        from repro.counters.parcel_counters import DistributedCounterProvider
 
         for loc in self.localities:
-            register_distributed_counters(loc.registry, loc, self)
+            loc.registry.install(DistributedCounterProvider(loc, self))
 
     # -- remote invocation ---------------------------------------------------
 

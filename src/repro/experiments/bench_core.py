@@ -275,10 +275,11 @@ def _run_once(
     platform: Any = None,
 ) -> tuple[float, Any]:
     from repro.api import Session
+    from repro.workloads import WorkloadSpec
 
     session = Session(runtime=runtime, cores=cores, platform=platform, engine_factory=factory)
     t0 = time.perf_counter()
-    result = session.run(benchmark, params=params)
+    result = session.run(WorkloadSpec.parse(benchmark), params=params)
     return time.perf_counter() - t0, result
 
 

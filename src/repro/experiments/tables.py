@@ -10,6 +10,7 @@ from repro.experiments.harness import run_strong_scaling
 from repro.api import Session
 from repro.inncabs.suite import available_benchmarks, get_benchmark
 from repro.tools import HPCTOOLKIT, TAU, ToolOutcome, ToolRunResult, run_with_tool
+from repro.workloads import WorkloadSpec
 
 _TASK_DURATION = "/threads{locality#0/total}/time/average"
 
@@ -54,7 +55,7 @@ def table1(
     config = config or ExperimentConfig()
     rows = []
     for name in benchmarks or available_benchmarks():
-        base = Session(runtime="std", cores=cores, config=config).run(name)
+        base = Session(runtime="std", cores=cores, config=config).run(WorkloadSpec.parse(name))
         rows.append(
             Table1Row(
                 benchmark=name,

@@ -1,0 +1,34 @@
+"""The FMM mini-app: user-defined application counters, proven end to end.
+
+A fast-multipole-method-like workload with multiple P2P kernel
+implementation variants (vectorized / scalar / legacy) chosen **per
+core type** from the simulated node's
+:class:`~repro.platform.spec.PlatformSpec` — on the asymmetric
+``hybrid-4p8e`` preset the P-cores run the vectorized kernel and the
+E-cores the scalar one, so the per-variant
+``/fmm{locality#0/total}/p2p-subgrids@<variant>`` counters read
+differently for the two core types (the Octo-Tiger pattern of
+registering per-kernel-variant counters into the runtime's counter
+framework).
+
+This package registers its counters exclusively through the *public*
+provider API (``repro.counters``'s :class:`AppCounterSet`); an
+import-boundary test enforces that no ``repro.counters`` internals are
+reached.
+"""
+
+from repro.fmm.workload import (
+    FMM_COUNTER_PROVIDER,
+    FMM_PRESETS,
+    VARIANTS,
+    FmmBenchmark,
+    variant_for_core,
+)
+
+__all__ = [
+    "FMM_COUNTER_PROVIDER",
+    "FMM_PRESETS",
+    "FmmBenchmark",
+    "VARIANTS",
+    "variant_for_core",
+]

@@ -45,6 +45,16 @@ class TaskContext:
         """Number of cores/workers the runtime is executing on."""
         return self._runtime.num_workers
 
+    @property
+    def platform(self) -> Any:
+        """The executing node's :class:`~repro.platform.spec.PlatformSpec`.
+
+        Lets platform-sensitive workloads (e.g. the FMM mini-app picking
+        kernel variants per core type) plan against the simulated
+        hardware without reaching into runtime internals.
+        """
+        return self._runtime.machine.platform
+
     # -- effect constructors ---------------------------------------------
 
     def async_(

@@ -383,7 +383,10 @@ class RunServer:
 
     def stats(self) -> dict[str, Any]:
         """``/serve{instance}/counter`` self-observation snapshot."""
+        from repro.counters.providers import provider_identity
+
         counters: dict[str, float] = {
+            "/serve{locality#0/providers}/available": float(len(provider_identity())),
             "/serve{locality#0/queue}/depth": float(self.queue.depth),
             "/serve{locality#0/queue}/capacity": float(self.config.max_queue),
             "/serve{locality#0/workers}/total": float(self.config.workers),

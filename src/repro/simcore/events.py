@@ -137,11 +137,6 @@ class Timer:
         return f"<Timer t={self._entry[0]} seq={self._entry[1]}{state}>"
 
 
-# Backwards-compatible name: the old handle class.  Deprecated; new code
-# should program against the Timer protocol.
-_Event = Timer
-
-
 class EventQueue:
     """Two-tier (calendar ring + heap) queue of ``(time, seq)``-ordered
     events with O(1) live count and free-listed entries."""

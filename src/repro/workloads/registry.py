@@ -14,9 +14,12 @@ superset layered on top.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.inncabs.base import Benchmark
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.counters.providers import CounterProvider
 
 __all__ = [
     "WorkloadEntry",
@@ -37,6 +40,10 @@ class WorkloadEntry:
     #: Preset name -> parameter overrides ("default" is implicit and empty).
     presets: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
     description: str = ""
+    #: Counter providers installed into the registry of any session
+    #: running this workload (the app-counter hook; see
+    #: :mod:`repro.counters.providers`).
+    counter_providers: tuple["CounterProvider", ...] = ()
 
 
 _WORKLOADS: dict[str, WorkloadEntry] = {}
@@ -56,6 +63,7 @@ def _ensure_loaded() -> None:
     if _LOADED:
         return
     _LOADED = True
+    from repro.fmm.workload import FMM_COUNTER_PROVIDER, FMM_PRESETS, FmmBenchmark
     from repro.inncabs.presets import PRESETS
     from repro.inncabs.suite import available_benchmarks, get_benchmark
     from repro.taskbench.workload import TASKBENCH_PRESETS, TaskBenchBenchmark
@@ -79,6 +87,17 @@ def _ensure_loaded() -> None:
             benchmark=taskbench,
             presets=TASKBENCH_PRESETS,
             description=taskbench.info.description,
+        )
+    )
+    fmm = FmmBenchmark()
+    register_workload(
+        WorkloadEntry(
+            name=fmm.info.name,
+            family="miniapp",
+            benchmark=fmm,
+            presets=FMM_PRESETS,
+            description=fmm.info.description,
+            counter_providers=(FMM_COUNTER_PROVIDER,),
         )
     )
 

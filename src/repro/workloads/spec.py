@@ -14,6 +14,7 @@ workload always compare (and hash, and cache) equal.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
@@ -156,9 +157,20 @@ def as_workload_spec(workload: "str | WorkloadSpec") -> WorkloadSpec:
 
     This is the thin shim that keeps the legacy benchmark-name string
     form working everywhere a :class:`WorkloadSpec` is now expected.
+
+    .. deprecated::
+        Passing a string is deprecated; construct a
+        :class:`WorkloadSpec` (or call :meth:`WorkloadSpec.parse`)
+        instead.  The string form will be removed with the shim.
     """
     if isinstance(workload, WorkloadSpec):
         return workload
     if isinstance(workload, str):
+        warnings.warn(
+            "passing a workload name string is deprecated; pass a WorkloadSpec "
+            "(e.g. WorkloadSpec.parse(...)) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
         return WorkloadSpec.parse(workload)
     raise TypeError(f"expected a workload name or WorkloadSpec, got {type(workload).__name__}")

@@ -84,11 +84,11 @@ def test_collect_counters_false():
 
 
 def test_runner_periodic_query_samples():
-    from repro.api import Session
+    from repro.api import Session, WorkloadSpec
     from repro.simcore.clock import us
 
     result = Session(runtime="hpx", cores=2).run(
-        "fib",
+        WorkloadSpec.parse("fib"),
         params={"n": 13},
         query_interval_ns=us(100),
     )
@@ -99,11 +99,11 @@ def test_runner_periodic_query_samples():
 
 
 def test_runner_query_requires_counters():
-    from repro.api import Session
+    from repro.api import Session, WorkloadSpec
 
     with pytest.raises(ValueError, match="collect_counters"):
         Session(runtime="hpx").run(
-            "fib",
+            WorkloadSpec.parse("fib"),
             params={"n": 8},
             collect_counters=False,
             query_interval_ns=1000,

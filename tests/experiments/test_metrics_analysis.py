@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.api import Session
+from repro.api import Session, WorkloadSpec
 from repro.experiments import metrics
 from repro.experiments.analysis import analyze, karp_flatt, knee, parallel_efficiency
 from repro.experiments.config import ExperimentConfig
@@ -11,7 +11,7 @@ from repro.experiments.harness import ScalingCurve, ScalingPoint, run_strong_sca
 
 @pytest.fixture(scope="module")
 def fib_run():
-    return Session(runtime="hpx", cores=2).run("fib", params={"n": 13})
+    return Session(runtime="hpx", cores=2).run(WorkloadSpec.parse("fib"), params={"n": 13})
 
 
 def test_task_duration_and_overhead(fib_run):
@@ -43,7 +43,7 @@ def test_bandwidth(fib_run):
 
 
 def test_metrics_validation(fib_run):
-    bare = Session(runtime="std", cores=2).run("fib", params={"n": 10}, collect_counters=False)
+    bare = Session(runtime="std", cores=2).run(WorkloadSpec.parse("fib"), params={"n": 10}, collect_counters=False)
     with pytest.raises(ValueError, match="counters"):
         metrics.task_duration_us(bare)
     with pytest.raises(ValueError, match="cores"):

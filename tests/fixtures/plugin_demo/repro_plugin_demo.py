@@ -1,0 +1,18 @@
+"""Demo third-party counter provider.
+
+The whole plugin: an ``AppCounterSet`` published under the
+``repro.counter_providers`` entry-point group (see ``pyproject.toml``
+next to this file).  Once the package is installed, every registry the
+library builds exposes ``/demo{locality#0/total}/ticks`` with
+provenance ``demo-ticks``.
+"""
+
+from repro.counters import AppCounterSet
+
+PROVIDER = AppCounterSet("demo", provider="demo-ticks")
+
+TICKS = PROVIDER.counter(
+    "ticks",
+    help_text="demo plugin tick count",
+    unit="ticks",
+)

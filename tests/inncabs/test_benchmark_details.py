@@ -1,11 +1,12 @@
 """Per-benchmark structural details beyond end-to-end verification."""
 
-from repro.api import Session
+from repro.api import Session, WorkloadSpec
 from repro.inncabs.fib import FibBenchmark
 
 
 def run_hpx(name, *, cores=2, params=None, keep_result=False):
-    return Session(runtime="hpx", cores=cores).run(name, params=params, keep_result=keep_result)
+    session = Session(runtime="hpx", cores=cores)
+    return session.run(WorkloadSpec.parse(name), params=params, keep_result=keep_result)
 
 
 def test_fib_task_count_formula():

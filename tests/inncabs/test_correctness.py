@@ -6,7 +6,7 @@ runtime, core count or scheduling order.
 
 import pytest
 
-from repro.api import Session
+from repro.api import Session, WorkloadSpec
 
 SMALL_PARAMS = {
     "alignment": {"nseq": 5, "seqlen": 60},
@@ -29,7 +29,7 @@ SMALL_PARAMS = {
 @pytest.mark.parametrize("name", sorted(SMALL_PARAMS))
 @pytest.mark.parametrize("cores", [1, 3])
 def test_hpx_verified(name, cores):
-    result = Session(runtime="hpx", cores=cores).run(name, params=SMALL_PARAMS[name])
+    result = Session(runtime="hpx", cores=cores).run(WorkloadSpec.parse(name), params=SMALL_PARAMS[name])
     assert not result.aborted
     assert result.verified, f"{name} failed verification on hpx/{cores}"
     assert result.tasks_executed == result.tasks_created
@@ -38,15 +38,15 @@ def test_hpx_verified(name, cores):
 
 @pytest.mark.parametrize("name", sorted(SMALL_PARAMS))
 def test_std_verified(name):
-    result = Session(runtime="std", cores=4).run(name, params=SMALL_PARAMS[name])
+    result = Session(runtime="std", cores=4).run(WorkloadSpec.parse(name), params=SMALL_PARAMS[name])
     assert not result.aborted
     assert result.verified, f"{name} failed verification on std/4"
 
 
 @pytest.mark.parametrize("name", sorted(SMALL_PARAMS))
 def test_results_deterministic(name):
-    a = Session(runtime="hpx", cores=2).run(name, params=SMALL_PARAMS[name])
-    b = Session(runtime="hpx", cores=2).run(name, params=SMALL_PARAMS[name])
+    a = Session(runtime="hpx", cores=2).run(WorkloadSpec.parse(name), params=SMALL_PARAMS[name])
+    b = Session(runtime="hpx", cores=2).run(WorkloadSpec.parse(name), params=SMALL_PARAMS[name])
     assert a.exec_time_ns == b.exec_time_ns
     assert a.counters == b.counters
 
@@ -57,19 +57,19 @@ def test_unknown_runtime_rejected():
 
 
 def test_keep_result():
-    result = Session(runtime="hpx", cores=1).run("fib", params={"n": 10}, keep_result=True)
+    result = Session(runtime="hpx", cores=1).run(WorkloadSpec.parse("fib"), params={"n": 10}, keep_result=True)
     assert result.result == 55
 
 
 def test_counter_lookup_error_lists_names():
-    result = Session(runtime="hpx", cores=1).run("fib", params={"n": 8})
+    result = Session(runtime="hpx", cores=1).run(WorkloadSpec.parse("fib"), params={"n": 8})
     with pytest.raises(KeyError, match="/threads"):
         result.counter("/no/such/counter")
 
 
 def test_collect_counters_false_is_faster():
     session = Session(runtime="hpx", cores=1)
-    with_counters = session.run("fib", params={"n": 12})
-    without = session.run("fib", params={"n": 12}, collect_counters=False)
+    with_counters = session.run(WorkloadSpec.parse("fib"), params={"n": 12})
+    without = session.run(WorkloadSpec.parse("fib"), params={"n": 12}, collect_counters=False)
     assert without.counters == {}
     assert without.exec_time_ns < with_counters.exec_time_ns

@@ -93,10 +93,10 @@ def test_preset_unknown_rejected():
 
 
 def test_small_presets_run_quickly_and_verify():
-    from repro.api import Session
+    from repro.api import Session, WorkloadSpec
     from repro.inncabs.presets import preset_params
 
     session = Session(runtime="hpx", cores=2)
     for name in ("fib", "sort", "qap"):
-        result = session.run(name, params=preset_params(name, "small"))
+        result = session.run(WorkloadSpec.parse(name), params=preset_params(name, "small"))
         assert result.verified

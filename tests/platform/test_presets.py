@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.api import Session
+from repro.api import Session, WorkloadSpec
 from repro.platform import (
     DEFAULT_PLATFORM,
     default_platform,
@@ -55,7 +55,7 @@ def test_machine_accepts_platform_designators():
 
 
 def run_fib(**session_kwargs):
-    return Session(runtime="hpx", cores=4, **session_kwargs).run("fib", params={"n": 12})
+    return Session(runtime="hpx", cores=4, **session_kwargs).run(WorkloadSpec.parse("fib"), params={"n": 12})
 
 
 def test_default_platform_reproduces_legacy_numbers():

@@ -2,14 +2,14 @@
 
 Callers (schedulers, PeriodicQuery) program against this protocol
 instead of reaching into queue internals, so its semantics are pinned
-here, including the legacy ``_Event`` alias.
+here.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.simcore.events import Engine, SimulationError, Timer, _Event
+from repro.simcore.events import Engine, SimulationError, Timer
 from repro.simcore.events_legacy import LegacyEngine
 
 
@@ -96,9 +96,11 @@ def test_reschedule_validation():
         timer.reschedule(at=engine.now - 1)  # in the past
 
 
-def test_event_alias_is_timer():
-    # Old code imported _Event; it must keep resolving to the handle class.
-    assert _Event is Timer
+def test_event_alias_is_gone():
+    # The deprecated _Event alias was removed; Timer is the only name.
+    import repro.simcore.events as events
+
+    assert not hasattr(events, "_Event")
 
 
 def test_legacy_engine_handles_expose_active():

@@ -4,7 +4,7 @@ import io
 
 import pytest
 
-from repro.api import Session, TelemetryConfig
+from repro.api import Session, WorkloadSpec, TelemetryConfig
 from repro.platform.presets import platform_names
 from repro.simcore.clock import ms
 from repro.telemetry.frame import TelemetryFrame
@@ -12,7 +12,7 @@ from repro.telemetry.sinks import JsonLinesSink, parse_jsonl_stream
 
 
 def test_run_result_carries_frame_and_totals():
-    result = Session(runtime="hpx", cores=2).run("fib", params={"n": 10})
+    result = Session(runtime="hpx", cores=2).run(WorkloadSpec.parse("fib"), params={"n": 10})
     assert result.telemetry is not None
     assert len(result.telemetry) > 0
     # The legacy dict is the frame's final-totals view, bit for bit.
@@ -21,7 +21,7 @@ def test_run_result_carries_frame_and_totals():
 
 def test_collect_counters_false_means_no_frame():
     result = Session(runtime="hpx", cores=2).run(
-        "fib", params={"n": 10}, collect_counters=False
+        WorkloadSpec.parse("fib"), params={"n": 10}, collect_counters=False
     )
     assert result.telemetry is None
     assert result.counters == {}
@@ -34,7 +34,7 @@ def test_session_level_telemetry_config_applies_to_runs():
         cores=2,
         telemetry=TelemetryConfig(counters=("/runtime/uptime",), sinks=(sink,), run_id="sess"),
     )
-    result = session.run("fib", params={"n": 10})
+    result = session.run(WorkloadSpec.parse("fib"), params={"n": 10})
     assert result.telemetry.names() == ["/runtime{locality#0/total}/uptime"]
     assert len(sink) == 1
     assert sink.samples[0].run_id == "sess"
@@ -45,7 +45,7 @@ def test_per_run_telemetry_overrides_session_default():
         runtime="hpx", cores=2, telemetry=TelemetryConfig(counters=("/runtime/uptime",))
     )
     result = session.run(
-        "fib",
+        WorkloadSpec.parse("fib"),
         params={"n": 10},
         telemetry=TelemetryConfig(counters=("/threads/count/cumulative",)),
     )
@@ -56,7 +56,7 @@ def test_interval_sampling_streams_to_sinks():
     buf = io.StringIO()
     session = Session(runtime="hpx", cores=4)
     result = session.run(
-        "fib",
+        WorkloadSpec.parse("fib"),
         params={"n": 16},
         telemetry=TelemetryConfig(
             counters=("/threads/count/cumulative",),
@@ -72,14 +72,14 @@ def test_interval_sampling_streams_to_sinks():
 
 
 def test_default_run_id_identifies_the_run():
-    result = Session(runtime="std", cores=2).run("fib", params={"n": 10})
+    result = Session(runtime="std", cores=2).run(WorkloadSpec.parse("fib"), params={"n": 10})
     assert result.telemetry.samples[0].run_id == "fib/std/c2"
 
 
 def test_query_interval_requires_counters():
     with pytest.raises(ValueError, match="collect_counters"):
         Session(runtime="hpx").run(
-            "fib",
+            WorkloadSpec.parse("fib"),
             params={"n": 8},
             collect_counters=False,
             telemetry=TelemetryConfig(interval_ns=ms(1)),
@@ -92,7 +92,7 @@ def test_wildcard_query_acceptance_on_every_preset(platform):
     every preset platform without error."""
     session = Session(runtime="hpx", cores=2, platform=platform)
     result = session.run(
-        "fib",
+        WorkloadSpec.parse("fib"),
         params={"n": 10},
         counters=("/threads{locality#0/worker-thread#*}/time/average",),
     )
@@ -107,7 +107,7 @@ def test_abort_still_flushes_telemetry():
     """An aborted run keeps the samples collected up to the abort."""
     sink = TelemetryFrame()
     result = Session(runtime="std", cores=4).run(
-        "fib",
+        WorkloadSpec.parse("fib"),
         params={"n": 19},
         telemetry=TelemetryConfig(counters=("/runtime/uptime",), sinks=(sink,)),
     )

@@ -86,3 +86,51 @@ def test_parse_classmethod_matches_module_function():
     text = "/threads{locality#0/worker-thread#*}/count/cumulative"
     assert CounterName.parse(text) == parse_counter_name(text)
     assert CounterName.parse(text).has_wildcard
+
+
+# -- plugin-provided counters ------------------------------------------------
+
+
+@pytest.fixture
+def hybrid_plugin_registry():
+    """hybrid-4p8e registry with a plugin counter instanced per shard."""
+    from repro.counters import AppCounterSet, build_registry
+
+    counters = AppCounterSet("plugdemo")
+    handles = [counters.counter("events", instance=("shard", i)) for i in range(5)]
+    engine = Engine()
+    machine = Machine(get_platform("hybrid-4p8e"))
+    runtime = HpxRuntime(engine, machine, num_workers=12)
+    env = CounterEnvironment(
+        engine=engine, runtime=runtime, machine=machine, papi=PapiSubstrate(machine)
+    )
+    return build_registry(env, providers=(counters,)), handles
+
+
+def test_wildcard_discovery_over_plugin_instances(hybrid_plugin_registry):
+    """``#*`` expansion works identically for plugin-declared counters."""
+    registry, _handles = hybrid_plugin_registry
+    pipe = TelemetryPipeline(registry, ["/plugdemo{locality#0/shard#*}/events"])
+    assert pipe.names() == [f"/plugdemo{{locality#0/shard#{i}}}/events" for i in range(5)]
+
+
+def test_plugin_wildcard_streams_live_values(hybrid_plugin_registry):
+    registry, handles = hybrid_plugin_registry
+    pipe = TelemetryPipeline(registry, ["/plugdemo{locality#0/shard#*}/events"])
+    for i, handle in enumerate(handles):
+        handle.add(i + 1)
+    values = pipe.sample()
+    assert [v.value for v in values] == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_plugin_and_builtin_wildcards_mix_in_one_pipeline(hybrid_plugin_registry):
+    registry, _handles = hybrid_plugin_registry
+    pipe = TelemetryPipeline(
+        registry,
+        [
+            "/threads{locality#0/worker-thread#*}/count/cumulative",
+            "/plugdemo{locality#0/shard#*}/events",
+        ],
+    )
+    assert len(pipe) == 12 + 5
+    assert len(pipe.sample()) == 17

@@ -436,8 +436,8 @@ def test_counters_query_bad_spec_errors(capsys):
 def test_workloads_list(capsys):
     assert main(["workloads", "list"]) == 0
     out = capsys.readouterr().out
-    assert len(out.strip().splitlines()) == 15
-    assert "taskbench" in out and "fib" in out
+    assert len(out.strip().splitlines()) == 16
+    assert "taskbench" in out and "fib" in out and "fmm" in out
     assert "presets=default,large,small" in out
 
 

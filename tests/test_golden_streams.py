@@ -69,7 +69,7 @@ def test_telemetry_pipeline_reproduces_golden_counters(name):
     with the golden counter values exactly."""
     import io
 
-    from repro.api import Session, TelemetryConfig
+    from repro.api import Session, TelemetryConfig, WorkloadSpec
     from repro.telemetry.sinks import JsonLinesSink, parse_jsonl_stream
 
     fixture = load_stream(FIXTURES / f"{name}.stream.json.gz")
@@ -77,7 +77,9 @@ def test_telemetry_pipeline_reproduces_golden_counters(name):
     buf = io.StringIO()
     session = Session(runtime=runtime, cores=cores)
     result = session.run(
-        benchmark, params=params, telemetry=TelemetryConfig(sinks=(JsonLinesSink(buf),))
+        WorkloadSpec.parse(benchmark),
+        params=params,
+        telemetry=TelemetryConfig(sinks=(JsonLinesSink(buf),)),
     )
     assert result.counters == fixture["counters"]
     assert result.telemetry.totals() == fixture["counters"]

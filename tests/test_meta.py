@@ -63,10 +63,10 @@ def test_all_public_functions_documented():
     contribution) carries a docstring."""
     import inspect
 
-    from repro.counters import base, manager, names, query, registry
+    from repro.counters import base, manager, names, providers, query, registry
 
     undocumented = []
-    for module in (base, manager, names, query, registry):
+    for module in (base, manager, names, providers, query, registry):
         for name, obj in vars(module).items():
             if name.startswith("_") or not callable(obj):
                 continue

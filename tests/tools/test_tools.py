@@ -1,7 +1,7 @@
 """External-tool models (Table I)."""
 
 
-from repro.api import Session
+from repro.api import Session, WorkloadSpec
 from repro.tools import HPCTOOLKIT, TAU, ToolOutcome, run_with_tool
 from repro.tools.tau import tau_with_table
 
@@ -23,7 +23,9 @@ def test_tau_completes_within_table():
 
 
 def test_tau_overhead_is_large():
-    base = Session(runtime="std", cores=4).run("fib", params={"n": 8}, collect_counters=False)
+    base = Session(runtime="std", cores=4).run(
+        WorkloadSpec.parse("fib"), params={"n": 8}, collect_counters=False
+    )
     instrumented = run_with_tool("fib", TAU, cores=4, params={"n": 8})
     overhead = instrumented.overhead_percent(base.exec_time_ns)
     assert overhead is not None
@@ -44,7 +46,7 @@ def test_hpctoolkit_no_table_limit():
 
 def test_hpctoolkit_huge_overhead():
     base = Session(runtime="std", cores=4).run(
-        "strassen", params={"n": 64, "cutoff": 16}, collect_counters=False
+        WorkloadSpec.parse("strassen"), params={"n": 64, "cutoff": 16}, collect_counters=False
     )
     result = run_with_tool("strassen", HPCTOOLKIT, cores=4, params={"n": 64, "cutoff": 16})
     assert result.outcome is ToolOutcome.COMPLETED
@@ -68,8 +70,8 @@ def test_hpx_counters_beat_tools_on_same_metrics():
     """The paper's core argument: the runtime's own counters collect the
     data the tools crash trying to collect, at ~1% perturbation."""
     session = Session(runtime="hpx", cores=4)
-    plain = session.run("fib", params={"n": 14}, collect_counters=False)
-    counted = session.run("fib", params={"n": 14})
+    plain = session.run(WorkloadSpec.parse("fib"), params={"n": 14}, collect_counters=False)
+    counted = session.run(WorkloadSpec.parse("fib"), params={"n": 14})
     perturbation = (counted.exec_time_ns - plain.exec_time_ns) / plain.exec_time_ns
     assert perturbation < 0.35  # vs TAU/HPCT: crash or >300%
     assert counted.counters  # and we actually got the measurements

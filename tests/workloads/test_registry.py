@@ -15,11 +15,11 @@ from repro.workloads import (
 )
 
 
-def test_registry_is_inncabs_plus_taskbench():
+def test_registry_is_inncabs_plus_taskbench_plus_fmm():
     names = available_workloads()
     assert names == sorted(names)
-    assert set(names) == set(available_benchmarks()) | {"taskbench"}
-    assert len(names) == 15
+    assert set(names) == set(available_benchmarks()) | {"taskbench", "fmm"}
+    assert len(names) == 16
 
 
 def test_inncabs_suite_stays_inncabs_only():

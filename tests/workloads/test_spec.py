@@ -99,9 +99,39 @@ def test_json_round_trip():
 def test_as_workload_spec_shim():
     spec = WorkloadSpec.parse("fib:n=10")
     assert as_workload_spec(spec) is spec
-    assert as_workload_spec("fib:n=10") == spec
+    with pytest.warns(DeprecationWarning, match="pass a WorkloadSpec"):
+        assert as_workload_spec("fib:n=10") == spec
     with pytest.raises(TypeError):
         as_workload_spec(7)
+
+
+def test_as_workload_spec_no_warning_for_spec():
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        as_workload_spec(WorkloadSpec.parse("fib"))
+
+
+def test_session_run_warns_on_bare_string():
+    from repro.api import Session
+
+    session = Session(runtime="hpx", cores=1)
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        result = session.run("fib", params={"n": 6}, collect_counters=False)
+    assert result.verified
+
+
+def test_session_run_spec_does_not_warn():
+    import warnings
+
+    from repro.api import Session
+
+    session = Session(runtime="hpx", cores=1)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        result = session.run(WorkloadSpec.parse("fib:n=6"), collect_counters=False)
+    assert result.verified
 
 
 # -- resolution against the registry -----------------------------------------
