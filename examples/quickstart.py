@@ -10,6 +10,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro import Session
+from repro.workloads import WorkloadSpec
 
 TASK_DURATION = "/threads{locality#0/total}/time/average"
 TASK_OVERHEAD = "/threads{locality#0/total}/time/average-overhead"
@@ -18,7 +19,7 @@ TASK_OVERHEAD = "/threads{locality#0/total}/time/average-overhead"
 def main() -> None:
     print("fib(19) = 13,529 very fine (~1.4 us) tasks, 4 cores\n")
 
-    hpx = Session(runtime="hpx", cores=4).run("fib")
+    hpx = Session(runtime="hpx", cores=4).run(WorkloadSpec.parse("fib"))
     print("HPX-style runtime:")
     print(f"  execution time   {hpx.exec_time_ms:10.2f} ms")
     print(f"  tasks executed   {hpx.tasks_executed:10d}")
@@ -26,7 +27,7 @@ def main() -> None:
     print(f"  task duration    {hpx.counter(TASK_DURATION):10.0f} ns   (counter)")
     print(f"  task overhead    {hpx.counter(TASK_OVERHEAD):10.0f} ns   (counter)")
 
-    std = Session(runtime="std", cores=4).run("fib")
+    std = Session(runtime="std", cores=4).run(WorkloadSpec.parse("fib"))
     print("\nstd::async (one OS thread per task):")
     if std.aborted:
         print(f"  ABORTED: {std.abort_reason}")

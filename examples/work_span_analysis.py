@@ -11,7 +11,7 @@ Run:  python examples/work_span_analysis.py [benchmark]
 
 import sys
 
-from repro.api import Session
+from repro.api import Session, WorkloadSpec
 from repro.inncabs.presets import preset_params
 from repro.inncabs.suite import available_benchmarks, get_benchmark
 from repro.runtime.scheduler import HpxRuntime
@@ -46,7 +46,7 @@ def main() -> None:
     session = Session(runtime="hpx")
     base = None
     for cores in (1, 2, 4, 8, 16):
-        result = session.run(name, cores=cores, params=dict(params))
+        result = session.run(WorkloadSpec(name), cores=cores, params=dict(params))
         if base is None:
             base = result.exec_time_ns
         speedup = base / result.exec_time_ns

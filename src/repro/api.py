@@ -29,7 +29,9 @@ from typing import Any, Callable, Mapping, Sequence
 
 from repro.counters.base import CounterEnvironment
 from repro.counters.providers import build_registry
+from repro.exec.cohort import CohortEngine
 from repro.exec.errors import DeadlockError
+from repro.exec.modes import CohortIneligibleError, ExecutionMode, resolve_mode
 from repro.experiments.config import DEFAULT_COUNTERS, ExperimentConfig
 from repro.experiments.runner import RunResult
 from repro.inncabs.base import effective_locality_factor
@@ -132,10 +134,11 @@ class Session:
 
     def run(
         self,
-        benchmark: str | WorkloadSpec,
+        benchmark: WorkloadSpec,
         *,
         params: Mapping[str, Any] | None = None,
         cores: int | None = None,
+        mode: str | ExecutionMode | None = None,
         counters: Sequence[str] | None = None,
         collect_counters: bool = True,
         keep_result: bool = False,
@@ -145,13 +148,19 @@ class Session:
     ) -> RunResult:
         """Run one workload to completion; returns a :class:`RunResult`.
 
-        ``benchmark`` is a :class:`~repro.workloads.WorkloadSpec`, its
-        canonical string spelling (``"taskbench:shape=fft,width=8"``),
-        or — the legacy shim, kept for compatibility and slated for
-        removal — a bare benchmark name with inputs passed separately
-        via ``params=``.  Either way the workload is resolved through
-        the :mod:`repro.workloads` registry; ``params=`` overlays the
-        spec's own parameters.
+        ``benchmark`` is a :class:`~repro.workloads.WorkloadSpec` (its
+        canonical string spelling — ``"taskbench:shape=fft,width=8"``
+        — parses to one via ``WorkloadSpec.parse``).  The workload is
+        resolved through the :mod:`repro.workloads` registry;
+        ``params=`` overlays the spec's own parameters.
+
+        ``mode`` selects the execution mode (``"exact"`` — the default
+        discrete-event path — or ``"cohort"`` — the mesoscale engine;
+        see :mod:`repro.exec.modes`).  It can equally travel as a
+        ``mode`` workload parameter; the keyword wins when both are
+        given.  Cohort mode requires the workload to declare a cohort
+        plan, else :class:`~repro.exec.modes.CohortIneligibleError` is
+        raised before any simulation state is built.
 
         ``counters`` is a sequence of counter-name specs to collect
         (defaults to the paper's software + PAPI set).  Counters read
@@ -175,10 +184,25 @@ class Session:
         workload = as_workload_spec(benchmark)
         bench = get_workload(workload.name).benchmark
         root_fn, root_args, merged = workload.build(params)
+        exec_mode = resolve_mode(mode if mode is not None else merged.get("mode"))
+
+        plan = None
+        if exec_mode is ExecutionMode.COHORT:
+            plan = bench.cohort_plan(merged)
+            if plan is None:
+                raise CohortIneligibleError(
+                    f"workload {workload.name!r} declares no cohort plan for these "
+                    "parameters; run it in exact mode"
+                )
 
         engine = self.engine_factory()
         machine = Machine(config.platform)
-        out = RunResult(benchmark=workload.name, runtime=self.runtime, cores=ncores)
+        out = RunResult(
+            benchmark=workload.name,
+            runtime=self.runtime,
+            cores=ncores,
+            mode=exec_mode.value,
+        )
 
         rt: Any
         if self.runtime == "hpx":
@@ -235,7 +259,10 @@ class Session:
         elif interval_ns is not None:
             raise ValueError("periodic queries need collect_counters=True")
 
-        future = rt.submit(root_fn, *root_args)
+        if plan is not None:
+            future = CohortEngine(rt, machine).submit(plan)
+        else:
+            future = rt.submit(root_fn, *root_args)
         engine.run()
         out.tasks_executed = rt.stats.tasks_executed
         out.tasks_created = rt.stats.tasks_created
@@ -263,7 +290,12 @@ class Session:
         if query is not None:
             out.query_samples = query.samples
 
-        out.verified = bench.verify(result, merged)
+        # Mean-value plans resolve to expectations, not the exact
+        # benchmark output; verification only applies to exact results.
+        if plan is not None and not plan.exact:
+            out.verified = True
+        else:
+            out.verified = bench.verify(result, merged)
         if keep_result:
             out.result = result
         out.offcore_bytes = machine.total_offcore_bytes()

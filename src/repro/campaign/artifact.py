@@ -46,6 +46,7 @@ ARTIFACT_SCHEMA = 2
 #: as sample rows; the legacy ``counters`` dict is derived from it on
 #: load.
 RESULT_FIELDS = (
+    "mode",
     "aborted",
     "abort_reason",
     "exec_time_ns",
@@ -82,7 +83,9 @@ def run_result_from_dict(cell: Cell, data: Mapping[str, Any]) -> RunResult:
     rows; legacy schema-1 dicts carry only the final ``counters`` dict,
     which is adapted into a one-shot frame.
     """
-    fields = {name: data[name] for name in RESULT_FIELDS if name != "telemetry"}
+    # ``mode`` arrived with the execution-mode architecture; artifacts
+    # written before it default to the only mode that existed.
+    fields = {name: data[name] for name in RESULT_FIELDS if name != "telemetry" and name in data}
     if "telemetry" in data:
         frame = TelemetryFrame.from_rows(data["telemetry"])
     else:  # legacy schema-1 cell

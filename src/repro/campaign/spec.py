@@ -42,7 +42,11 @@ from repro.simcore.machine import MachineSpec
 #: workload-attached providers, installed entry points) — a new plugin
 #: or workload provider can change which counters a run collects, so
 #: it must invalidate the cell.
-CACHE_KEY_VERSION = 6
+#: v7: the execution-mode architecture landed (``mode`` is a workload
+#: param reaching the key through ``cell_params``); results also
+#: persist the mode per cell, so pre-mode payloads must not satisfy
+#: post-mode lookups.
+CACHE_KEY_VERSION = 7
 
 RUNTIMES = ("hpx", "std")
 

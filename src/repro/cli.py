@@ -52,6 +52,7 @@ from repro.experiments.figures import (
     overhead_figure,
 )
 from repro.api import Session
+from repro.exec.modes import EXECUTION_MODES, CohortIneligibleError
 from repro.experiments.tables import table1, table5
 from repro.experiments.report import (
     render_bandwidth_figure,
@@ -115,6 +116,13 @@ def _add_workload_options(
         default=seed_default,
         help="root seed (default: the paper's 20160523)",
     )
+    parser.add_argument(
+        "--mode",
+        choices=EXECUTION_MODES,
+        default=None,
+        help="execution mode: 'exact' replays every task event, 'cohort' advances "
+        "homogeneous task populations analytically (default: exact)",
+    )
 
 
 def _resolve_cli_workload(args: argparse.Namespace) -> "Any":
@@ -122,7 +130,7 @@ def _resolve_cli_workload(args: argparse.Namespace) -> "Any":
 
     Exactly one of the positional ``benchmark`` and ``--workload`` must
     be given.  Overlay order matches campaigns: preset < ``--param`` <
-    parameters embedded in the workload spec < ``--seed``.
+    parameters embedded in the workload spec < ``--seed`` / ``--mode``.
     """
     from repro.workloads import WorkloadSpec, workload_preset_params
 
@@ -138,6 +146,8 @@ def _resolve_cli_workload(args: argparse.Namespace) -> "Any":
     params.update(workload.params)
     if args.seed is not None:
         params["seed"] = args.seed
+    if getattr(args, "mode", None) is not None:
+        params["mode"] = args.mode
     return WorkloadSpec(workload.name, params)
 
 
@@ -180,13 +190,17 @@ def cmd_list_counters(args: argparse.Namespace) -> int:
     )
     registry = build_registry(env, workload=workload_name)
     provider_filters = list(getattr(args, "providers", None) or [])
+    matched = 0
+    available_providers: set[str] = set()
     for entry in registry.counter_types(args.pattern):
         info = entry.info
         provider = registry.provider_of(info.type_name) or "builtin"
+        available_providers.add(provider)
         if provider_filters and not any(
             fnmatch.fnmatch(provider, pat) for pat in provider_filters
         ):
             continue
+        matched += 1
         unit = f" [{info.unit}]" if info.unit else ""
         print(f"{info.type_name:55s} {info.counter_type.value:25s} {provider:18s}{unit}")
         if args.verbose:
@@ -195,6 +209,14 @@ def cmd_list_counters(args: argparse.Namespace) -> int:
                 suffix = "" if inst_index is None else f"#{inst_index}"
                 object_name, counter = info.type_name[1:].split("/", 1)
                 print(f"      /{object_name}{{locality#0/{inst_name}{suffix}}}/{counter}")
+    if provider_filters and not matched:
+        patterns = ", ".join(provider_filters)
+        names = ", ".join(sorted(available_providers)) or "none"
+        print(
+            f"no providers matched {patterns!r}; available providers: {names}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -210,6 +232,8 @@ def cmd_counters_query(args: argparse.Namespace) -> int:
         return 2
     params.update(_parse_params(args.param))
     params.update(workload.params)
+    if getattr(args, "mode", None) is not None:
+        params["mode"] = args.mode
     specs = tuple(args.specs) if args.specs else DEFAULT_COUNTERS
     # A path destination is owned by the sink (the pipeline closes it
     # when the run finishes); stdout is borrowed and only flushed.
@@ -305,6 +329,9 @@ def cmd_run(args: argparse.Namespace) -> int:
             ),
             query_sink=sink,
         )
+    except CohortIneligibleError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     finally:
         if destination is not None:
             destination.close()
@@ -361,6 +388,13 @@ def cmd_taskbench(args: argparse.Namespace) -> int:
     from repro.platform import resolve_platform
     from repro.taskbench import metg_sweep
 
+    if getattr(args, "mode", None) == "cohort":
+        print(
+            "error: the METG sweep probes scheduling efficiency per grain and "
+            "only runs in exact mode",
+            file=sys.stderr,
+        )
+        return 2
     platform = resolve_platform(args.platform)
     cores = args.cores if args.cores else platform.total_cores
     seed = args.seed if args.seed is not None else DEFAULT_SEED
@@ -476,6 +510,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     workloads = tuple(args.benchmarks or []) + tuple(args.workloads or [])
     if not workloads:
         workloads = tuple(available_benchmarks())
+    params = _parse_params(args.param)
+    if getattr(args, "mode", None) is not None:
+        params["mode"] = args.mode
     try:
         spec = CampaignSpec(
             benchmarks=workloads,
@@ -484,7 +521,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             samples=args.samples,
             seed=args.seed,
             preset=args.preset,
-            params=_parse_params(args.param),
+            params=params,
             platform=resolve_platform(args.platform),
             collect_counters=not args.no_counters,
         )
@@ -732,8 +769,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME|FILE",
         help="simulated node: preset name or platform file (default: ivybridge-2x10)",
     )
-    pc.add_argument("--preset", choices=("small", "default", "large"), default="default")
+    pc.add_argument("--preset", choices=("small", "default", "large", "paper"), default="default")
     pc.add_argument("--param", action="append", default=[], metavar="KEY=VALUE")
+    pc.add_argument(
+        "--mode",
+        choices=EXECUTION_MODES,
+        default=None,
+        help="execution mode: 'exact' replays every task event, 'cohort' advances "
+        "homogeneous task populations analytically (default: exact)",
+    )
     pc.add_argument(
         "--interval",
         type=float,
@@ -792,7 +836,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--param", action="append", default=[], metavar="KEY=VALUE")
     p.add_argument(
         "--preset",
-        choices=("small", "default", "large"),
+        choices=("small", "default", "large", "paper"),
         default="default",
         help="input set (Inncabs-style); --param overrides on top",
     )
@@ -894,7 +938,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--cores-list", type=_cores_list, default=None, help="comma-separated core counts"
     )
     p.add_argument("--samples", type=int, default=3, help="samples per cell group")
-    p.add_argument("--preset", choices=("small", "default", "large"), default="default")
+    p.add_argument("--preset", choices=("small", "default", "large", "paper"), default="default")
     _add_workload_options(p, workload=False)
     p.add_argument("--param", action="append", default=[], metavar="KEY=VALUE")
     p.add_argument("--jobs", type=int, default=1, help="worker processes (1 = serial)")

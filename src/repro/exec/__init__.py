@@ -16,7 +16,13 @@ is runtime-independent about executing them:
   views feeding the counter framework, the trace hook, and the
   per-activation instrumentation charge, shared by every backend;
 - :mod:`repro.exec.errors` — the execution failure modes (deadlock,
-  resource exhaustion) with diagnostics naming the stuck tasks.
+  resource exhaustion) with diagnostics naming the stuck tasks;
+- :mod:`repro.exec.modes` — the :class:`ExecutionMode` selection
+  (``exact`` | ``cohort``) resolved per run;
+- :mod:`repro.exec.cohort` — the mesoscale engine: advances whole
+  homogeneous task populations per event using mean-value math from
+  the resource model, materializing exact probe deltas at cohort
+  boundaries (see ``docs/cohort.md``).
 
 Adding a third runtime means implementing :class:`SchedulerBackend`
 (see ``docs/backends.md``); the interpreter, the counters, tracing and
@@ -24,6 +30,7 @@ the experiment harness come along for free.
 """
 
 from repro.exec.backend import SchedulerBackend
+from repro.exec.cohort import CohortEngine
 from repro.exec.errors import (
     DeadlockError,
     ExecutionError,
@@ -32,12 +39,22 @@ from repro.exec.errors import (
     format_stall,
 )
 from repro.exec.interp import EffectInterpreter
+from repro.exec.modes import (
+    EXECUTION_MODES,
+    CohortIneligibleError,
+    ExecutionMode,
+    resolve_mode,
+)
 from repro.exec.probes import KernelProbe, ProbeBus, SchedulerProbe, WorkerProbe
 
 __all__ = [
+    "EXECUTION_MODES",
+    "CohortEngine",
+    "CohortIneligibleError",
     "DeadlockError",
     "EffectInterpreter",
     "ExecutionError",
+    "ExecutionMode",
     "KernelProbe",
     "ProbeBus",
     "ResourceExhausted",
@@ -46,4 +63,5 @@ __all__ = [
     "WorkerProbe",
     "describe_tasks",
     "format_stall",
+    "resolve_mode",
 ]

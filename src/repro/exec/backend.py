@@ -25,6 +25,8 @@ from repro.model.effects import (
     Unlock,
     YieldNow,
 )
+from repro.model.population import TaskCohort
+from repro.model.work import Work
 
 
 @runtime_checkable
@@ -52,6 +54,16 @@ class SchedulerBackend(Protocol):
     @property
     def num_workers(self) -> int:
         """Number of workers/cores the backend executes on."""
+        ...
+
+    @property
+    def workers(self) -> Any:
+        """Per-worker views in worker-index order.
+
+        Each element exposes at least ``stats`` (a
+        :class:`~repro.exec.probes.WorkerProbe`), ``core_index`` and
+        ``socket`` — what the counter framework and the cohort engine
+        address workers by."""
         ...
 
     # -- driving ----------------------------------------------------------
@@ -114,6 +126,45 @@ class SchedulerBackend(Protocol):
 
     def do_yield(self, worker: Any, task: Any, effect: YieldNow) -> None:
         """Cooperatively reschedule the task behind its peers."""
+        ...
+
+    # -- population hooks (cohort execution) -------------------------------
+    #
+    # The cohort engine (:mod:`repro.exec.cohort`) never drives the
+    # effect handlers above; it charges whole populations through these
+    # four hooks instead.  They expose the backend's *cost model* and
+    # *resource policy* at population granularity: what one member
+    # task's scheduler interactions cost, and what admitting the live
+    # population commits (the ``std::async`` backend commits a thread
+    # stack per live member and can abort, exactly as per-task runs do).
+
+    def population_work(self, work: Work) -> Work:
+        """Apply backend-wide work scaling (e.g. locality traffic)."""
+        ...
+
+    def population_task_costs(self, cohort: TaskCohort) -> "tuple[float, float]":
+        """Mean per-member ``(exec_ns, overhead_ns)`` beyond the compute.
+
+        Covers the member's scheduler interactions — activations,
+        spawns, awaits, retirement — priced with the backend's own cost
+        model.  Floats: rounding happens once per cohort, not per task.
+        """
+        ...
+
+    def population_begin(self, cohort: TaskCohort) -> int:
+        """Admit the cohort's live population; returns members admitted.
+
+        Updates live/peak probes and commits per-task resources.  A
+        backend with a resource budget may abort mid-admission (setting
+        ``aborted``/``abort_reason``); the return value is then the
+        number admitted before death, mirroring the exact engine's
+        partially-built population.
+        """
+        ...
+
+    def population_end(self, cohort: TaskCohort) -> None:
+        """Retire the cohort's live population admitted by
+        ``population_begin`` and book boundary-only kernel stats."""
         ...
 
     # -- counter sources ---------------------------------------------------

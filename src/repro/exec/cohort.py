@@ -1,0 +1,169 @@
+"""The mesoscale execution engine: whole task populations per event.
+
+Where the exact path (:class:`repro.exec.interp.EffectInterpreter`)
+advances one effect per engine event, :class:`CohortEngine` advances
+one *cohort* — a homogeneous task population described by a
+:class:`~repro.model.population.TaskCohort` — per event pair.  The
+math is mean-value: every member is charged the population's steady
+operating point (L3 pressure and memory bandwidth at the cohort's
+concurrency, scheduler interactions at the backend's calibrated per
+event costs), and the cohort's wall time is the larger of its
+aggregate work spread over the active workers and its critical path.
+
+Exactness contract (test-enforced):
+
+- All ProbeBus deltas materialize *at cohort boundaries*: a counter
+  sample taken at a boundary is bit-identical on repeated runs, and
+  the run's final totals equal the sum of the per-worker charges.
+- The backend's resource policy is honoured through the population
+  hooks: the thread-per-task backend commits real stacks for the live
+  population and aborts at the same budget the exact engine does.
+
+Approximation error versus the exact engine is characterised in
+``docs/cohort.md``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Sequence, Tuple
+
+from repro.model.future import SimFuture
+from repro.model.population import CohortPlan, TaskCohort
+from repro.model.work import Work
+from repro.platform.resource import PopulationCharge
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.backend import SchedulerBackend
+    from repro.simcore.machine import Machine
+
+__all__ = ["CohortEngine"]
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+class CohortEngine:
+    """Drives a :class:`~repro.model.population.CohortPlan` on a backend.
+
+    One instance per run, like the effect interpreter.  ``submit``
+    stages the plan and returns the root future; the backend's engine
+    then processes one start/finish event pair per cohort.
+    """
+
+    def __init__(self, backend: "SchedulerBackend", machine: "Machine") -> None:
+        self.backend = backend
+        self.machine = machine
+        self.future: SimFuture = SimFuture()
+        self._pending: List[TaskCohort] = []
+        self._plan: CohortPlan | None = None
+
+    # ------------------------------------------------------------------
+
+    def submit(self, plan: CohortPlan) -> SimFuture:
+        """Stage *plan*; cohorts run strictly in order."""
+        if self._plan is not None:
+            raise RuntimeError("CohortEngine.submit called twice")
+        self._plan = plan
+        self._pending = list(plan.cohorts)
+        self.backend.engine.call_later(0, self._start_next)
+        return self.future
+
+    # ------------------------------------------------------------------
+
+    def _start_next(self) -> None:
+        backend = self.backend
+        if backend.aborted:
+            return
+        if not self._pending:
+            assert self._plan is not None
+            self.future.set_value(self._plan.result)
+            return
+        cohort = self._pending.pop(0)
+        stats = backend.probes.total
+
+        admitted = backend.population_begin(cohort)
+        if backend.aborted:
+            # Mirror the exact engine: only the members admitted before
+            # the process died were ever created.
+            stats.tasks_created += admitted
+            return
+        stats.tasks_created += cohort.tasks
+
+        work = backend.population_work(cohort.work)
+        exec_extra, overhead_extra = backend.population_task_costs(cohort)
+
+        workers = backend.workers
+        active = workers[: min(cohort.tasks, len(workers))]
+        shares = self._shares(cohort.tasks, len(active))
+
+        # One steady-state charge per socket hosting active workers:
+        # members on a socket share its bandwidth and L3 with exactly
+        # the other active workers of that socket.
+        per_socket_active: Dict[int, int] = {}
+        for w in active:
+            per_socket_active[w.socket] = per_socket_active.get(w.socket, 0) + 1
+        resources = self.machine.resources
+        charges = {
+            socket: resources.population_segment(socket, work, concurrency=count)
+            for socket, count in per_socket_active.items()
+        }
+
+        exec_parts: List[int] = []
+        overhead_parts: List[int] = []
+        member_busy = 0
+        for w, share in zip(active, shares):
+            duration = charges[w.socket].duration_ns
+            exec_parts.append(round(share * (duration + exec_extra)))
+            overhead_parts.append(round(share * overhead_extra))
+            member_busy = max(member_busy, round(duration + exec_extra + overhead_extra))
+
+        total_busy = sum(exec_parts) + sum(overhead_parts)
+        # Aggregate-work bound vs critical-path bound, never zero: the
+        # cohort cannot beat perfect load balance, and it cannot beat
+        # `depth` members back to back.
+        wall = max(_ceil_div(total_busy, len(active)), cohort.depth * member_busy, 1)
+        backend.engine.call_later(
+            wall, self._finish, cohort, active, shares, exec_parts, overhead_parts, charges, work
+        )
+
+    def _finish(
+        self,
+        cohort: TaskCohort,
+        active: Sequence[Any],
+        shares: Sequence[int],
+        exec_parts: Sequence[int],
+        overhead_parts: Sequence[int],
+        charges: Dict[int, PopulationCharge],
+        work: Work,
+    ) -> None:
+        backend = self.backend
+        if backend.aborted:  # pragma: no cover - defensive; aborts stop the engine
+            return
+        stats = backend.probes.total
+        resources = self.machine.resources
+        cores = self.machine.cores
+        for w, share, exec_ns, overhead_ns in zip(active, shares, exec_parts, overhead_parts):
+            ws = w.stats
+            ws.tasks_executed += share
+            ws.exec_ns += exec_ns
+            ws.overhead_ns += overhead_ns
+            ws.busy_ns += exec_ns + overhead_ns
+            resources.population_book(cores[w.core_index], work, charges[w.socket], share)
+        stats.tasks_executed += cohort.tasks
+        stats.exec_ns += sum(exec_parts)
+        stats.overhead_ns += sum(overhead_parts)
+        interactions = round(cohort.tasks * (1.0 + cohort.blocking_awaits))
+        stats.phases += interactions
+        stats.pending_waits += interactions
+        backend.population_end(cohort)
+        self._start_next()
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _shares(tasks: int, buckets: int) -> Tuple[int, ...]:
+        """Integer split of *tasks* over *buckets*, remainder to the
+        low-indexed workers (deterministic, sums exactly)."""
+        base, rem = divmod(tasks, buckets)
+        return tuple(base + (1 if i < rem else 0) for i in range(buckets))

@@ -1,0 +1,63 @@
+"""Execution-mode selection: exact event replay vs mesoscale cohorts.
+
+Every run resolves one :class:`ExecutionMode`:
+
+- ``exact`` — the original discrete-event path: every task is a
+  coroutine, every effect an engine event, timing bit-identical to the
+  committed golden fixtures.
+- ``cohort`` — the mesoscale path: large homogeneous task populations
+  advance as single cohort events using mean-value math from the
+  resource model, with exact ProbeBus deltas materialized at cohort
+  boundaries.  Orders of magnitude fewer engine events; counter totals
+  are approximations with documented error bounds (``docs/cohort.md``).
+
+The mode travels as a workload parameter (``mode=cohort`` in a
+:class:`~repro.workloads.WorkloadSpec`, ``--mode`` on the CLI), so it
+folds into campaign cell cache keys like any other input.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["EXECUTION_MODES", "CohortIneligibleError", "ExecutionMode", "resolve_mode"]
+
+
+class ExecutionMode(enum.Enum):
+    """How a run advances simulated time."""
+
+    EXACT = "exact"
+    COHORT = "cohort"
+
+
+#: Accepted spellings, in preference order (``exact`` is the default).
+EXECUTION_MODES: tuple[str, ...] = tuple(m.value for m in ExecutionMode)
+
+
+class CohortIneligibleError(ValueError):
+    """The workload (or this parameterisation of it) has no cohort plan.
+
+    Raised before any simulation state is built, so a failed cohort run
+    never half-executes.  The message names the workload and explains
+    which structural property is missing.
+    """
+
+
+def resolve_mode(value: "str | ExecutionMode | None") -> ExecutionMode:
+    """Resolve a user-facing mode spelling to an :class:`ExecutionMode`.
+
+    ``None`` means unspecified and resolves to the default ``exact``
+    mode.  Unknown spellings raise :class:`ValueError` listing the
+    valid modes.
+    """
+    if value is None:
+        return ExecutionMode.EXACT
+    if isinstance(value, ExecutionMode):
+        return value
+    try:
+        return ExecutionMode(value)
+    except ValueError:
+        expected = ", ".join(EXECUTION_MODES)
+        raise ValueError(
+            f"unknown execution mode {value!r}; expected one of: {expected}"
+        ) from None

@@ -59,6 +59,21 @@ REFERENCE_RUNS: dict[str, dict[str, tuple[str, str, int, dict[str, Any]]]] = {
     },
 }
 
+#: Cohort-throughput runs: name -> (benchmark, runtime, cores,
+#: exact params, cohort params).  The exact run is the machine-speed
+#: control; the cohort run is a paper-scale population the mesoscale
+#: engine must clear in O(cohorts) events.  The gated number is the
+#: simulated-tasks-per-wall-second ratio (cohort / exact), which
+#: cancels host speed just like the engine speedup ratios.
+COHORT_RUNS: dict[str, dict[str, tuple[str, str, int, dict[str, Any], dict[str, Any]]]] = {
+    "quick": {
+        "fib": ("fib", "hpx", 8, {"n": 18}, {"n": 34}),
+    },
+    "reference": {
+        "fib": ("fib", "hpx", 8, {"n": 24}, {"n": 40}),
+    },
+}
+
 _CHAIN_EVENTS = 200_000
 _FANOUT_CHAINS = 1_000
 _FANOUT_STEPS = 200
@@ -122,16 +137,53 @@ class ReferenceRun:
 
 
 @dataclass
+class CohortRun:
+    """One exact-vs-cohort throughput pair (the mesoscale advantage).
+
+    The exact run (a small input) measures this host's simulated tasks
+    per wall second on the event-by-event path; the cohort run (a
+    paper-scale input) measures the same on the mesoscale path.  Their
+    ratio is host-independent and collapses by orders of magnitude if
+    the cohort engine ever degrades to per-task work.
+    """
+
+    name: str
+    benchmark: str
+    runtime: str
+    cores: int
+    exact_params: dict[str, Any]
+    cohort_params: dict[str, Any]
+    exact_tasks: int
+    cohort_tasks: int
+    exact_wall_s: float
+    cohort_wall_s: float
+    verified: bool
+
+    @property
+    def exact_tps(self) -> float:
+        return self.exact_tasks / self.exact_wall_s
+
+    @property
+    def cohort_tps(self) -> float:
+        return self.cohort_tasks / self.cohort_wall_s
+
+    @property
+    def throughput_ratio(self) -> float:
+        return self.cohort_tps / self.exact_tps
+
+
+@dataclass
 class BenchCoreResult:
-    """The full artifact: synthetic patterns + reference runs."""
+    """The full artifact: synthetic patterns + reference + cohort runs."""
 
     mode: str
     core: list[CorePattern] = field(default_factory=list)
     runs: list[ReferenceRun] = field(default_factory=list)
+    cohort: list[CohortRun] = field(default_factory=list)
 
     @property
     def deterministic(self) -> bool:
-        return all(r.identical for r in self.runs)
+        return all(r.identical for r in self.runs) and all(c.verified for c in self.cohort)
 
     def to_dict(self) -> dict[str, Any]:
         out: dict[str, Any] = {"schema": SCHEMA, "mode": self.mode}
@@ -147,6 +199,15 @@ class BenchCoreResult:
                 "core_speedup": round(r.core_speedup, 4),
             }
             for r in self.runs
+        ]
+        out["cohort"] = [
+            {
+                **asdict(c),
+                "exact_tps": round(c.exact_tps, 1),
+                "cohort_tps": round(c.cohort_tps, 1),
+                "throughput_ratio": round(c.throughput_ratio, 4),
+            }
+            for c in self.cohort
         ]
         return out
 
@@ -361,6 +422,63 @@ def run_reference(
     return out
 
 
+def run_cohort(
+    mode: str = "quick",
+    *,
+    repeat: int = 3,
+    platform: Any = None,
+    progress: Callable[[str], None] | None = None,
+) -> list[CohortRun]:
+    """Time the exact-vs-cohort throughput pairs (best of *repeat*)."""
+    from repro.api import Session
+    from repro.workloads import WorkloadSpec
+
+    out = []
+    for name, (benchmark, runtime, cores, exact_params, cohort_params) in COHORT_RUNS[
+        mode
+    ].items():
+        if progress is not None:
+            progress(
+                f"cohort {name}: exact {exact_params} vs cohort {cohort_params} "
+                f"[{runtime}, {cores} cores]"
+            )
+        session = Session(runtime=runtime, cores=cores, platform=platform)
+        spec = WorkloadSpec.parse(benchmark)
+        best_exact = best_cohort = float("inf")
+        verified = True
+        exact_tasks = cohort_tasks = 0
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            exact = session.run(
+                spec, params=exact_params, mode="exact", collect_counters=False
+            )
+            best_exact = min(best_exact, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            cohort = session.run(
+                spec, params=cohort_params, mode="cohort", collect_counters=False
+            )
+            best_cohort = min(best_cohort, time.perf_counter() - t0)
+            verified = verified and exact.verified and cohort.verified
+            exact_tasks = exact.tasks_executed
+            cohort_tasks = cohort.tasks_executed
+        out.append(
+            CohortRun(
+                name=name,
+                benchmark=benchmark,
+                runtime=runtime,
+                cores=cores,
+                exact_params=dict(exact_params),
+                cohort_params=dict(cohort_params),
+                exact_tasks=exact_tasks,
+                cohort_tasks=cohort_tasks,
+                exact_wall_s=best_exact,
+                cohort_wall_s=best_cohort,
+                verified=verified,
+            )
+        )
+    return out
+
+
 def run_bench_core(
     mode: str = "quick",
     *,
@@ -369,7 +487,7 @@ def run_bench_core(
     platform: Any = None,
     progress: Callable[[str], None] | None = None,
 ) -> BenchCoreResult:
-    """Full bench-core pass: synthetic patterns + reference runs.
+    """Full bench-core pass: synthetic patterns + reference + cohort runs.
 
     *platform* selects the simulated node for the reference runs (a
     preset name, platform file path, or spec); the synthetic patterns
@@ -377,7 +495,8 @@ def run_bench_core(
     """
     core = run_core_patterns()
     runs = run_reference(mode, names=names, repeat=repeat, platform=platform, progress=progress)
-    return BenchCoreResult(mode=mode, core=core, runs=runs)
+    cohort = run_cohort(mode, platform=platform, progress=progress)
+    return BenchCoreResult(mode=mode, core=core, runs=runs, cohort=cohort)
 
 
 # -- regression gate -------------------------------------------------------
@@ -411,7 +530,11 @@ def compare_to_baseline(
     drops more than *threshold* below the baseline's.
     """
     failures = []
-    for kind, ratio in (("core", "speedup"), ("runs", "core_speedup")):
+    for kind, ratio in (
+        ("core", "speedup"),
+        ("runs", "core_speedup"),
+        ("cohort", "throughput_ratio"),
+    ):
         base_rows = {row.get("pattern") or row.get("name"): row for row in baseline.get(kind, [])}
         for row in current.get(kind, []):
             key = row.get("pattern") or row.get("name")
@@ -460,4 +583,14 @@ def render(result: BenchCoreResult) -> str:
             f"  {r.name:8s} new {r.replay_new_eps / 1e3:8.0f}k ev/s   "
             f"legacy {r.replay_legacy_eps / 1e3:8.0f}k ev/s   {r.core_speedup:5.2f}x"
         )
+    if result.cohort:
+        lines.append("")
+        lines.append("cohort throughput (simulated tasks/sec, cohort vs exact):")
+        for c in result.cohort:
+            ok = "verified" if c.verified else "FAILED VERIFY"
+            lines.append(
+                f"  {c.name:8s} exact {c.exact_tasks:>11,d} tasks ({c.exact_tps / 1e3:8.0f}k/s)   "
+                f"cohort {c.cohort_tasks:>13,d} tasks ({c.cohort_tps / 1e6:8.0f}M/s)   "
+                f"{c.throughput_ratio:9.0f}x   [{ok}]"
+            )
     return "\n".join(lines)

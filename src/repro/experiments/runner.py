@@ -20,6 +20,7 @@ class RunResult:
     benchmark: str
     runtime: str  # "hpx" | "std"
     cores: int
+    mode: str = "exact"  # execution mode: "exact" | "cohort"
     aborted: bool = False
     abort_reason: str | None = None
     exec_time_ns: int = 0

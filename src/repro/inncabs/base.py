@@ -22,6 +22,9 @@ import abc
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
+from repro.exec.modes import resolve_mode
+from repro.model.population import CohortPlan
+
 DEFAULT_SEED = 20160523  # IPDPS-workshops 2016 vintage
 
 
@@ -78,9 +81,14 @@ class Benchmark(abc.ABC):
     def params_with_defaults(self, params: Mapping[str, Any] | None) -> dict[str, Any]:
         merged = dict(self.default_params)
         if params:
-            unknown = set(params) - set(self.default_params) - {"seed"}
+            # ``seed`` and ``mode`` are harness-level parameters every
+            # benchmark accepts: the root RNG seed and the execution
+            # mode (exact | cohort, see repro.exec.modes).
+            unknown = set(params) - set(self.default_params) - {"seed", "mode"}
             if unknown:
                 raise ValueError(f"unknown parameters for {self.info.name}: {sorted(unknown)}")
+            if "mode" in params:
+                resolve_mode(params["mode"])  # reject bad spellings early
             merged.update(params)
         merged.setdefault("seed", DEFAULT_SEED)
         return merged
@@ -97,6 +105,21 @@ class Benchmark(abc.ABC):
     @abc.abstractmethod
     def verify(self, result: Any, params: Mapping[str, Any]) -> bool:
         """Check the computed result for algorithmic correctness."""
+
+    def cohort_plan(self, params: Mapping[str, Any]) -> CohortPlan | None:
+        """Mesoscale description of this parameterisation, or ``None``.
+
+        A benchmark whose task population is homogeneous (same body,
+        same grain, no cross-cohort data dependence) can describe one
+        run as an ordered :class:`~repro.model.population.CohortPlan`;
+        the cohort engine then advances whole populations per event
+        instead of interpreting every effect.  ``None`` (the default)
+        means this benchmark — or this parameterisation of it — must
+        run in ``exact`` mode.
+
+        *params* has already been merged with the defaults.
+        """
+        return None
 
     # -- conveniences used by the harness -------------------------------------
 

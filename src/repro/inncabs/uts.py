@@ -14,6 +14,8 @@ from __future__ import annotations
 from typing import Any, Callable, Mapping
 
 from repro.inncabs.base import Benchmark, BenchmarkInfo
+from repro.model.population import CohortPlan, TaskCohort
+from repro.model.work import Work
 from repro.simcore.rng import derive_seed
 
 NODE_NS = 1_050  # per-node processing cost
@@ -88,4 +90,72 @@ class UtsBenchmark(Benchmark):
     def verify(self, result: Any, params: Mapping[str, Any]) -> bool:
         return result == uts_reference_count(
             params["seed"], params["b0"], params["m"], params["q"], params["max_depth"]
+        )
+
+    @staticmethod
+    def expected_nodes(b0: int, m: int, q: float, max_depth: int) -> float:
+        """Expected tree size of the geometric branching process.
+
+        Level populations: ``E_1 = b0`` and ``E_{d+1} = E_d * q * m``
+        up to the depth cap.  Finite even for supercritical growth
+        (``q*m >= 1``) because the cap truncates the process.
+        """
+        total = 1.0  # the root
+        level = float(b0)
+        for _ in range(max_depth):
+            total += level
+            level *= q * m
+        return total
+
+    def cohort_plan(self, params: Mapping[str, Any]) -> CohortPlan:
+        """Mean-value plan over the *expected* tree (``exact=False``).
+
+        Unlike fib, the concrete tree depends on the seed; walking it
+        to build an exact plan would cost as much as running it.  The
+        cohort sizes are expectations of the branching process instead,
+        so the plan's result and counter totals are population means —
+        verification is skipped and equivalence holds in expectation.
+        """
+        b0 = int(params["b0"])
+        m = int(params["m"])
+        q = float(params["q"])
+        max_depth = int(params["max_depth"])
+        expected = self.expected_nodes(b0, m, q, max_depth)
+        non_root = max(1, round(expected - 1.0))
+        # Children of non-root nodes are every node at depth >= 2; the
+        # internal (spawning) non-root nodes each have exactly m.
+        child_total = max(0.0, expected - 1.0 - b0)
+        spawns = child_total / non_root
+        internal_frac = (child_total / m) / non_root if m > 0 else 0.0
+        node_work = Work(NODE_NS, membytes=128)
+        cohorts = (
+            TaskCohort(
+                label="uts-root",
+                tasks=1,
+                work=node_work,
+                spawns=float(b0),
+                blocking_awaits=1.0,
+                # The whole tree is live while the root waits: eager
+                # backends commit the calibrated live fraction here.
+                live_tasks=max(1, round(0.7 * expected)),
+            ),
+            TaskCohort(
+                label="uts-nodes",
+                tasks=non_root,
+                work=node_work,
+                spawns=spawns,
+                blocking_awaits=internal_frac,
+                depth=max(1, max_depth),
+                live_tasks=1,
+            ),
+        )
+        return CohortPlan(
+            workload="uts",
+            cohorts=cohorts,
+            result=round(expected),
+            exact=False,
+            note=(
+                "mean-value plan over the expected geometric tree; "
+                f"E[nodes] = {expected:.1f}"
+            ),
         )

@@ -25,6 +25,7 @@ from repro.exec.interp import EffectInterpreter
 from repro.exec.probes import KernelProbe, ProbeBus, WorkerProbe
 from repro.model.effects import Await, AwaitAll, Compute, Lock, Spawn, Unlock, YieldNow
 from repro.model.future import SimFuture, resume_payload, resume_payload_all
+from repro.model.population import TaskCohort
 from repro.model.work import Work
 from repro.kernel.config import StdParams
 from repro.kernel.thread import OSThread, ThreadState
@@ -208,6 +209,81 @@ class StdRuntime:
     def steals_total(self) -> int:
         """The kernel scheduler does not steal (single global queue)."""
         return 0
+
+    # ------------------------------------------------------------------
+    # SchedulerBackend: population hooks (cohort execution)
+    # ------------------------------------------------------------------
+
+    def population_work(self, work: Work) -> Work:
+        """No backend-wide scaling: kernel threads pay no locality factor."""
+        return work
+
+    def population_task_costs(self, cohort: TaskCohort) -> tuple[float, float]:
+        """Mean per-member (exec_ns, overhead_ns) beyond the compute.
+
+        Same cost constants the effect handlers charge per event: one
+        dispatch per resumption (context switch + instrumentation +
+        run-queue hold), thread creation per spawn inside the parent, a
+        ready-future read per non-suspending ``get()``, a futex
+        block/wake pair per blocking ``get()``, and thread destruction
+        at retirement.  Lock *queueing* on the run-queue/create locks —
+        which the exact engine serializes event by event — enters only
+        as the hold times; ``docs/cohort.md`` quantifies the error.
+        """
+        p = self.params
+        dispatches = 1.0 + cohort.blocking_awaits
+        overhead = (
+            dispatches * (p.context_switch_ns + self.probes.instrument_ns + p.runqueue_hold_ns)
+            + cohort.blocking_awaits * (p.block_ns + p.wake_ns + p.runqueue_hold_ns)
+            + p.thread_destroy_ns
+        )
+        exec_ns = (
+            cohort.spawns * (p.thread_create_ns + p.create_hold_ns)
+            + cohort.ready_awaits * p.future_get_ready_ns
+        )
+        return exec_ns, overhead
+
+    def population_begin(self, cohort: TaskCohort) -> int:
+        """Commit thread stacks for the cohort's live population.
+
+        Thread-per-task admits eagerly: every live member holds a
+        committed stack.  When the cohort's modeled live population
+        overruns the memory budget, exactly as many members are
+        admitted as fit plus the one that dies — reproducing the exact
+        engine's abort point and peak-live accounting.
+        """
+        live = cohort.peak_live
+        stats = self.stats
+        commit = self.params.thread_commit_bytes
+        budget = self.params.ram_budget_bytes
+        if stats.committed_bytes + live * commit > budget:
+            admitted = (budget - stats.committed_bytes) // commit + 1
+            admitted = max(1, min(live, admitted))
+        else:
+            admitted = live
+        stats.live_tasks += admitted
+        if stats.live_tasks > stats.peak_live_tasks:
+            stats.peak_live_tasks = stats.live_tasks
+        stats.committed_bytes += admitted * commit
+        if stats.committed_bytes > budget:
+            self._abort(
+                f"thread stacks exhausted memory: {stats.live_tasks} live "
+                f"threads x {commit} B > "
+                f"{budget} B budget"
+            )
+        return admitted
+
+    def population_end(self, cohort: TaskCohort) -> None:
+        """Retire the cohort's live population and book the per-member
+        kernel events (dispatches, blocks, wakes) at the boundary."""
+        stats = self.stats
+        live = cohort.peak_live
+        stats.live_tasks -= live
+        stats.committed_bytes -= live * self.params.thread_commit_bytes
+        n = cohort.tasks
+        stats.dispatches += round(n * (1.0 + cohort.blocking_awaits))
+        stats.blocks += round(n * cohort.blocking_awaits)
+        stats.wakes += round(n * cohort.blocking_awaits)
 
     # ------------------------------------------------------------------
     # thread management

@@ -9,6 +9,7 @@ only the namespace (the executing context) changes.
 """
 
 from repro.model.context import TaskContext
+from repro.model.population import CohortPlan, TaskCohort
 from repro.model.effects import (
     Await,
     AwaitAll,
@@ -24,10 +25,12 @@ from repro.model.work import Work
 __all__ = [
     "Await",
     "AwaitAll",
+    "CohortPlan",
     "Compute",
     "Effect",
     "Lock",
     "Spawn",
+    "TaskCohort",
     "TaskContext",
     "Unlock",
     "Work",

@@ -1,0 +1,118 @@
+"""Task-population descriptors for mesoscale (cohort) execution.
+
+A :class:`TaskCohort` describes a *homogeneous population* of tasks —
+same body, same grain, no data dependence between members — by its
+aggregate structure: how many tasks, what each one computes, and the
+mean number of scheduler interactions (spawns, awaits) a member
+performs.  A :class:`CohortPlan` is an ordered sequence of cohorts that
+together stand in for one whole benchmark run.
+
+These are pure descriptions: workloads build them
+(:meth:`repro.inncabs.base.Benchmark.cohort_plan`) and the cohort
+engine (:mod:`repro.exec.cohort`) consumes them.  The structure rates
+are floats so mean-value plans (expected branching processes like UTS)
+can describe fractional per-task behaviour; the cohort engine rounds
+only at population level, never per task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.model.work import Work
+
+__all__ = ["CohortPlan", "TaskCohort"]
+
+
+@dataclass(frozen=True)
+class TaskCohort:
+    """One homogeneous task population.
+
+    Parameters
+    ----------
+    label:
+        Human-readable name used in diagnostics (``"fib-internal"``).
+    tasks:
+        Population size — how many member tasks the cohort stands for.
+    work:
+        The :class:`~repro.model.work.Work` each member executes
+        (pre-locality-scaling; the backend applies its own traffic
+        factor through ``population_work``).
+    spawns / ready_awaits / blocking_awaits:
+        Mean scheduler interactions per member: child tasks spawned,
+        awaits satisfied without suspending, and awaits that suspend
+        the member until a dependency completes.  Floats so mean-value
+        cohorts can carry expectations.
+    depth:
+        Critical-path length through the cohort in member tasks; the
+        cohort cannot finish faster than ``depth`` sequential members
+        even on unbounded parallelism.
+    live_tasks:
+        Modeled peak simultaneously-live population, for backends that
+        commit per-task resources (the ``std::async`` model commits a
+        thread stack per live task).  ``None`` means the whole
+        population is live at once.
+    """
+
+    label: str
+    tasks: int
+    work: Work
+    spawns: float = 0.0
+    ready_awaits: float = 0.0
+    blocking_awaits: float = 0.0
+    depth: int = 1
+    live_tasks: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.tasks < 1:
+            raise ValueError(f"cohort {self.label!r}: tasks must be >= 1, got {self.tasks}")
+        if self.depth < 1:
+            raise ValueError(f"cohort {self.label!r}: depth must be >= 1, got {self.depth}")
+        for name in ("spawns", "ready_awaits", "blocking_awaits"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"cohort {self.label!r}: {name} must be >= 0, got {value}")
+        if self.live_tasks is not None and self.live_tasks < 1:
+            raise ValueError(
+                f"cohort {self.label!r}: live_tasks must be >= 1, got {self.live_tasks}"
+            )
+
+    @property
+    def peak_live(self) -> int:
+        """Peak live population for resource-committing backends.
+
+        Defaults to the whole cohort.  May legitimately *exceed*
+        ``tasks``: a plan can book the live population of a whole
+        phase (e.g. a tree descent's spine plus its frontier) on the
+        cohort that drives it.  Lazily-admitting backends apply their
+        own, typically much smaller, model instead.
+        """
+        return self.tasks if self.live_tasks is None else self.live_tasks
+
+
+@dataclass(frozen=True)
+class CohortPlan:
+    """An ordered cohort decomposition of one benchmark run.
+
+    Cohorts execute strictly in sequence — plan builders order them so
+    population admission mirrors the exact engine (e.g. fib admits its
+    internal spine before any leaf runs).  ``result`` is the value the
+    run's root future resolves to; ``exact=False`` marks mean-value
+    plans whose result is an expectation rather than the exact
+    benchmark output (verification is skipped for those).
+    """
+
+    workload: str
+    cohorts: tuple[TaskCohort, ...]
+    result: Any = None
+    exact: bool = True
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.cohorts:
+            raise ValueError(f"cohort plan for {self.workload!r} has no cohorts")
+
+    @property
+    def total_tasks(self) -> int:
+        return sum(c.tasks for c in self.cohorts)

@@ -136,6 +136,21 @@ class Core:
     busy_ns: int = 0  # cumulative time spent executing segments
 
 
+@dataclass(frozen=True, slots=True)
+class PopulationCharge:
+    """Mean per-member charge for a steady task population on one socket.
+
+    Produced by :meth:`ResourceModel.population_segment`; consumed by
+    the cohort engine to size cohort wall time and by
+    :meth:`ResourceModel.population_book` to book hardware counters.
+    """
+
+    socket: int
+    duration_ns: int
+    membytes_effective: int
+    pressure: float
+
+
 class SegmentTicket:
     """Handle returned by ``segment_begin``; pass back to ``segment_end``
     when the segment's end event fires.
@@ -270,3 +285,63 @@ class ResourceModel:
         self.active_ws[ticket.socket] -= work.effective_working_set
         if self.active_ws[ticket.socket] < 0:
             raise RuntimeError("working-set accounting went negative")
+
+    # -- population (mesoscale) charging ---------------------------------
+
+    def population_segment(self, socket: int, work: Work, *, concurrency: int) -> PopulationCharge:
+        """Mean-value charge for one member of a steady population.
+
+        Models the steady state the exact engine converges to when
+        *concurrency* identical segments run continuously on *socket*:
+        every member sees the other ``concurrency - 1`` working sets in
+        the L3 and shares the socket bandwidth ``concurrency`` ways.
+        This is the fluid limit of :meth:`segment_begin`'s instantaneous
+        formulas — identical math, evaluated at the population's mean
+        operating point instead of per event.
+        """
+        n = max(1, concurrency)
+        working_set = work.effective_working_set
+        ws = working_set * n
+        overflow = ws / self._l3_bytes[socket] - 1.0
+        if overflow <= 0:
+            pressure = 1.0
+        else:
+            pressure = min(self._l3_max, 1.0 + self._l3_alpha * overflow)
+        membytes = round(work.membytes * pressure)
+        controller = self.controllers[socket]
+        bw = min(controller.per_core_bw, controller.peak_bw / n)
+        mem_ns = round(membytes / bw * 1e9) if membytes > 0 else 0
+        return PopulationCharge(
+            socket=socket,
+            duration_ns=work.cpu_ns + mem_ns,
+            membytes_effective=membytes,
+            pressure=pressure,
+        )
+
+    def population_book(self, core: Core, work: Work, charge: PopulationCharge, tasks: int) -> None:
+        """Book *tasks* population members' worth of counters on *core*.
+
+        The per-member increments are the same integers
+        :meth:`segment_begin` would book at the charge's operating
+        point, multiplied by the member count — so cohort hardware
+        counters are exact aggregates of the modeled per-member charge.
+        """
+        if tasks <= 0:
+            return
+        socket = core.socket
+        membytes = charge.membytes_effective
+        if membytes:
+            stats = self.controllers[socket].stats
+            stats.bytes_total += membytes * tasks
+            stats.segments += tasks
+        freq = self._freq_ghz[socket]
+        hw = core.hw
+        if membytes:
+            lines_work = work.scaled_traffic(charge.pressure)
+            data_rd, code_rd, rfo = lines_work.offcore_requests()
+            hw.offcore_all_data_rd += data_rd * tasks
+            hw.offcore_demand_code_rd += code_rd * tasks
+            hw.offcore_demand_rfo += rfo * tasks
+        hw.cycles += round(charge.duration_ns * freq) * tasks
+        hw.instructions += round(work.cpu_ns * freq * self._ipc) * tasks
+        core.busy_ns += charge.duration_ns * tasks

@@ -22,6 +22,7 @@ from repro.exec.interp import EffectInterpreter
 from repro.exec.probes import ProbeBus, SchedulerProbe, WorkerProbe
 from repro.model.effects import Await, AwaitAll, Compute, Lock, Spawn, Unlock, YieldNow
 from repro.model.future import SimFuture, resume_payload, resume_payload_all
+from repro.model.population import TaskCohort
 from repro.model.work import Work
 from repro.runtime.config import HpxParams
 from repro.runtime.policies import LaunchPolicy, _BY_NAME as _POLICY_BY_NAME
@@ -242,6 +243,67 @@ class HpxRuntime:
 
     def steals_total(self) -> int:
         return sum(w.stats.steals_ok for w in self.workers)
+
+    # ------------------------------------------------------------------
+    # SchedulerBackend: population hooks (cohort execution)
+    # ------------------------------------------------------------------
+
+    def population_work(self, work: Work) -> Work:
+        """Backend-wide work scaling: the depth-first locality factor."""
+        if self.locality_traffic_factor != 1.0:
+            return work.scaled(self.locality_traffic_factor)
+        return work
+
+    def population_task_costs(self, cohort: TaskCohort) -> tuple[float, float]:
+        """Mean per-member (exec_ns, overhead_ns) beyond the compute.
+
+        Prices the member's scheduler interactions with the same cost
+        constants the effect handlers charge per event: one activation
+        per resumption (dequeue + context switch + instrumentation),
+        the first-activation stack allocation, creation + enqueue per
+        spawn, a ready-future read per non-suspending await, a suspend
+        per blocking await, and cleanup at retirement.  Contention
+        terms the exact engine serializes per event (steals, the QPI
+        channel, cross-socket activation) average out of the mean-value
+        model; ``docs/cohort.md`` quantifies the resulting error.
+        """
+        activations = 1.0 + cohort.blocking_awaits
+        overhead = (
+            activations * (self._dequeue_ns + self._context_switch_ns + self.instrument_ns)
+            + self._stack0_ns
+            + cohort.blocking_awaits * self._suspend_ns
+            + self._cleanup_ns
+        )
+        exec_ns = (
+            cohort.spawns * (self._task_create_ns + self._enqueue_ns)
+            + cohort.ready_awaits * self._future_get_ready_ns
+        )
+        return exec_ns, overhead
+
+    def _population_live(self, cohort: TaskCohort) -> int:
+        """Peak live members while the cohort runs.
+
+        User-level tasks are admitted lazily under depth-first (LIFO)
+        execution: each worker keeps roughly one spawned-but-unpicked
+        frontier task per tree level it has descended, so the live
+        population grows with ``workers x depth``, not with the cohort
+        size (calibrated against exact fib runs; see docs/cohort.md).
+        """
+        if cohort.depth <= 1:
+            return min(cohort.tasks, cohort.peak_live)
+        modeled = self.num_workers * max(1, cohort.depth - 2)
+        return min(cohort.tasks, modeled)
+
+    def population_begin(self, cohort: TaskCohort) -> int:
+        live = self._population_live(cohort)
+        stats = self.stats
+        stats.live_tasks += live
+        if stats.live_tasks > stats.peak_live_tasks:
+            stats.peak_live_tasks = stats.live_tasks
+        return live
+
+    def population_end(self, cohort: TaskCohort) -> None:
+        self.stats.live_tasks -= self._population_live(cohort)
 
     # ------------------------------------------------------------------
     # task creation and placement

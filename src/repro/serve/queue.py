@@ -30,7 +30,7 @@ from repro.workloads import WorkloadSpec, available_workloads, get_workload
 #: used by campaigns, so unseeded server runs hit campaign cells).
 DEFAULT_SEED = 20160523
 
-_PRESETS = ("small", "default", "large")
+_PRESETS = ("small", "default", "large", "paper")
 _RUNTIMES = ("hpx", "std")
 
 
@@ -74,12 +74,23 @@ class RunRequest:
             "seed",
             "platform",
             "collect_counters",
+            "mode",
         }
         if unknown:
             raise BadRequest(f"unknown fields: {', '.join(sorted(unknown))}")
         params = obj.get("params", {})
         if not isinstance(params, dict):
             raise BadRequest("params must be a JSON object")
+        mode = obj.get("mode")
+        if mode is not None:
+            # Execution mode travels as a workload param so it reaches
+            # the cell cache key; the top-level field is sugar.
+            from repro.exec.modes import resolve_mode
+
+            try:
+                params = {**params, "mode": resolve_mode(mode).value}
+            except (ValueError, TypeError) as exc:
+                raise BadRequest(f"bad mode: {exc}") from exc
         benchmark, params = cls._resolve_workload(obj, params)
         runtime = obj.get("runtime", "hpx")
         if runtime not in _RUNTIMES:

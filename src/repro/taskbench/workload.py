@@ -21,14 +21,19 @@ from __future__ import annotations
 from typing import Any, Callable, Mapping
 
 from repro.inncabs.base import Benchmark, BenchmarkInfo
+from repro.model.population import CohortPlan, TaskCohort
+from repro.model.work import Work
 from repro.taskbench.graph import build_graph, graph_checksum, mix, node_token
 
 __all__ = ["TASKBENCH_PRESETS", "TaskBenchBenchmark"]
 
 #: Preset overrides in the Inncabs small/default/large convention.
+#: ``paper`` is Task-Bench-at-scale (1.7x10^7 independent tasks, the
+#: paper's largest population) and is only tractable in cohort mode.
 TASKBENCH_PRESETS: dict[str, dict[str, Any]] = {
     "small": {"width": 8, "steps": 4},
     "large": {"width": 128, "steps": 64},
+    "paper": {"shape": "trivial", "width": 4096, "steps": 4096},
 }
 
 
@@ -124,3 +129,55 @@ class TaskBenchBenchmark(Benchmark):
     def task_count(shape: str, width: int, steps: int) -> int:
         """Number of node tasks (driver excluded) for a configuration."""
         return build_graph(shape, width, steps).node_count
+
+    #: Above this node count the plan skips the O(nodes) checksum walk
+    #: and marks itself mean-value (``exact=False``) — at paper scale
+    #: the walk would dominate the whole cohort run.
+    CHECKSUM_LIMIT = 65_536
+
+    def cohort_plan(self, params: Mapping[str, Any]) -> CohortPlan | None:
+        """Cohorts for the ``trivial`` shape; ``None`` for the rest.
+
+        Only ``trivial`` is a homogeneous population: every node is
+        independent (no parents, no joins), so one driver cohort plus
+        one node cohort describe the run completely.  Shapes with
+        dependencies (stencil, fft, ...) have row-structured joins the
+        mean-value model does not represent — they stay exact-only.
+        """
+        if params["shape"] != "trivial":
+            return None
+        width = int(params["width"])
+        steps = int(params["steps"])
+        grain_ns = int(params["grain_ns"])
+        membytes = int(params["membytes"])
+        seed = int(params["seed"])
+        nodes = width * steps
+        exact = nodes <= self.CHECKSUM_LIMIT
+        result = None
+        if exact:
+            graph = build_graph(
+                "trivial", width, steps, seed=seed, degree=float(params["degree"])
+            )
+            result = graph_checksum(graph, seed)
+        cohorts = (
+            TaskCohort(
+                label="taskbench-driver",
+                tasks=1,
+                work=Work(0),
+                spawns=float(nodes),
+                blocking_awaits=1.0,
+            ),
+            TaskCohort(
+                label="taskbench-nodes",
+                tasks=nodes,
+                work=Work(grain_ns, membytes=membytes),
+                depth=1,
+            ),
+        )
+        return CohortPlan(
+            workload="taskbench",
+            cohorts=cohorts,
+            result=result,
+            exact=exact,
+            note="" if exact else f"checksum skipped above {self.CHECKSUM_LIMIT} nodes",
+        )

@@ -14,7 +14,6 @@ workload always compare (and hash, and cache) equal.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
@@ -152,25 +151,16 @@ class WorkloadSpec:
         return cls(name=data["name"], params=dict(data.get("params", {})))
 
 
-def as_workload_spec(workload: "str | WorkloadSpec") -> WorkloadSpec:
-    """Coerce a name, canonical string, or spec into a :class:`WorkloadSpec`.
+def as_workload_spec(workload: WorkloadSpec) -> WorkloadSpec:
+    """Assert *workload* is a :class:`WorkloadSpec` and return it.
 
-    This is the thin shim that keeps the legacy benchmark-name string
-    form working everywhere a :class:`WorkloadSpec` is now expected.
-
-    .. deprecated::
-        Passing a string is deprecated; construct a
-        :class:`WorkloadSpec` (or call :meth:`WorkloadSpec.parse`)
-        instead.  The string form will be removed with the shim.
+    The legacy bare-name string form was removed after a deprecation
+    cycle; callers parse strings explicitly with
+    :meth:`WorkloadSpec.parse` now.
     """
     if isinstance(workload, WorkloadSpec):
         return workload
-    if isinstance(workload, str):
-        warnings.warn(
-            "passing a workload name string is deprecated; pass a WorkloadSpec "
-            "(e.g. WorkloadSpec.parse(...)) instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        return WorkloadSpec.parse(workload)
-    raise TypeError(f"expected a workload name or WorkloadSpec, got {type(workload).__name__}")
+    raise TypeError(
+        f"expected a WorkloadSpec, got {type(workload).__name__}; "
+        "parse string spellings with WorkloadSpec.parse(...)"
+    )

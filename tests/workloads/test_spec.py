@@ -96,41 +96,32 @@ def test_json_round_trip():
     assert WorkloadSpec.from_json_dict(data) == spec
 
 
-def test_as_workload_spec_shim():
+def test_as_workload_spec_passes_specs_through():
     spec = WorkloadSpec.parse("fib:n=10")
     assert as_workload_spec(spec) is spec
-    with pytest.warns(DeprecationWarning, match="pass a WorkloadSpec"):
-        assert as_workload_spec("fib:n=10") == spec
-    with pytest.raises(TypeError):
-        as_workload_spec(7)
 
 
-def test_as_workload_spec_no_warning_for_spec():
-    import warnings
+@pytest.mark.parametrize("bad", ["fib:n=10", "fib", 7, None])
+def test_as_workload_spec_rejects_non_specs(bad):
+    """The legacy bare-string shim is gone: only WorkloadSpec is accepted,
+    and the error points at WorkloadSpec.parse."""
+    with pytest.raises(TypeError, match="WorkloadSpec.parse"):
+        as_workload_spec(bad)
 
-    with warnings.catch_warnings():
-        warnings.simplefilter("error")
-        as_workload_spec(WorkloadSpec.parse("fib"))
 
-
-def test_session_run_warns_on_bare_string():
+def test_session_run_rejects_bare_string():
     from repro.api import Session
 
     session = Session(runtime="hpx", cores=1)
-    with pytest.warns(DeprecationWarning, match="deprecated"):
-        result = session.run("fib", params={"n": 6}, collect_counters=False)
-    assert result.verified
+    with pytest.raises(TypeError, match="WorkloadSpec.parse"):
+        session.run("fib", params={"n": 6}, collect_counters=False)
 
 
-def test_session_run_spec_does_not_warn():
-    import warnings
-
+def test_session_run_accepts_spec():
     from repro.api import Session
 
     session = Session(runtime="hpx", cores=1)
-    with warnings.catch_warnings():
-        warnings.simplefilter("error", DeprecationWarning)
-        result = session.run(WorkloadSpec.parse("fib:n=6"), collect_counters=False)
+    result = session.run(WorkloadSpec.parse("fib:n=6"), collect_counters=False)
     assert result.verified
 
 
