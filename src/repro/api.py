@@ -40,6 +40,13 @@ from repro.kernel.scheduler import StdRuntime
 from repro.papi.hw import PapiSubstrate
 from repro.platform.presets import resolve_platform
 from repro.platform.spec import PlatformSpec
+from repro.profiler.builder import ProfileBuilder, ProfileConfig
+from repro.profiler.whatif import (
+    BodyRewriter,
+    WhatIfResult,
+    predict_makespan_ns,
+    resolve_body,
+)
 from repro.runtime.config import HpxParams
 from repro.runtime.scheduler import HpxRuntime
 from repro.simcore.events import Engine
@@ -47,7 +54,7 @@ from repro.simcore.machine import Machine, MachineSpec
 from repro.telemetry.pipeline import DEFAULT_BUFFER_LIMIT, TelemetryConfig, TelemetryPipeline
 from repro.workloads import WorkloadSpec, as_workload_spec, get_workload
 
-__all__ = ["Session", "RunResult", "TelemetryConfig", "WorkloadSpec"]
+__all__ = ["ProfileConfig", "Session", "RunResult", "TelemetryConfig", "WorkloadSpec"]
 
 #: Accepted runtime names.  ``"kernel"`` is an alias for the
 #: ``std::async`` thread-per-task model (it runs on kernel threads).
@@ -145,6 +152,8 @@ class Session:
         query_interval_ns: int | None = None,
         query_sink: Any = None,
         telemetry: TelemetryConfig | None = None,
+        profile: ProfileConfig | bool | None = None,
+        work_rewriter: Callable[[Any, Any], Any] | None = None,
     ) -> RunResult:
         """Run one workload to completion; returns a :class:`RunResult`.
 
@@ -177,6 +186,22 @@ class Session:
         and its final totals as the legacy ``result.counters`` dict,
         and configured sinks (CSV, JSONL, Chrome-trace, ...) stream
         every sample as it is recorded.
+
+        ``profile`` attaches the causal profiler
+        (:class:`~repro.profiler.builder.ProfileConfig`, or ``True``
+        for its defaults): the result carries a
+        :class:`~repro.profiler.report.RunProfile` as
+        ``result.profile`` (critical path, per-body flat profile,
+        logical parallelism), the ``/profiler{...}`` counters become
+        available, and any ``what_if`` experiments are validated by
+        replaying the run with rewritten work costs.  Requesting a
+        ``/profiler`` counter implies ``profile=True``.  Profiling and
+        ``work_rewriter`` are exact-mode only — cohort runs collapse
+        task populations and have no per-task DAG — and raise
+        :class:`~repro.exec.modes.CohortIneligibleError` under
+        ``mode="cohort"``.  Note a profiled run is *not* bit-identical
+        to an unprofiled one (each trace event charges instrumentation,
+        like the recorder), which is why what-if replays profile too.
         """
         config = self.config
         tele = telemetry if telemetry is not None else self.telemetry
@@ -185,6 +210,23 @@ class Session:
         bench = get_workload(workload.name).benchmark
         root_fn, root_args, merged = workload.build(params)
         exec_mode = resolve_mode(mode if mode is not None else merged.get("mode"))
+
+        profile_cfg = ProfileConfig.coerce(profile)
+        if profile_cfg is None and collect_counters:
+            # Asking for a /profiler counter implies profiling.
+            specs_requested = counters
+            if specs_requested is None and tele is not None:
+                specs_requested = tele.counters
+            if specs_requested and any(s.startswith("/profiler") for s in specs_requested):
+                profile_cfg = ProfileConfig()
+        if exec_mode is ExecutionMode.COHORT and (
+            profile_cfg is not None or work_rewriter is not None
+        ):
+            raise CohortIneligibleError(
+                "causal profiling and what-if replays are exact-mode only: cohort "
+                "runs collapse task populations and have no per-task DAG to "
+                "profile or rewrite; run with mode='exact'"
+            )
 
         plan = None
         if exec_mode is ExecutionMode.COHORT:
@@ -218,6 +260,13 @@ class Session:
         else:
             rt = StdRuntime(engine, machine, num_workers=ncores, params=config.std)
 
+        builder: ProfileBuilder | None = None
+        if profile_cfg is not None:
+            builder = ProfileBuilder(rt, keep_events=profile_cfg.keep_events)
+            builder.attach()
+        if work_rewriter is not None:
+            rt.set_compute_rewriter(work_rewriter)
+
         pipeline: TelemetryPipeline | None = None
         query = None
         interval_ns = query_interval_ns
@@ -225,7 +274,11 @@ class Session:
             interval_ns = tele.interval_ns
         if collect_counters:
             env = CounterEnvironment(
-                engine=engine, runtime=rt, machine=machine, papi=PapiSubstrate(machine)
+                engine=engine,
+                runtime=rt,
+                machine=machine,
+                papi=PapiSubstrate(machine),
+                profiler=builder,
             )
             registry = build_registry(env, workload=workload.name)
             specs = counters
@@ -276,6 +329,15 @@ class Session:
                 out.telemetry = pipeline.frame  # periodic samples up to the abort
                 pipeline.stop()
                 pipeline.close()
+            if builder is not None:
+                builder.detach()
+                # Partial profile up to the abort; no what-if replays.
+                out.profile = builder.finalize(
+                    workload=workload.canonical(),
+                    runtime=self.runtime,
+                    cores=ncores,
+                    makespan_ns=engine.now,
+                )
             return out
         if not future.is_ready:
             raise DeadlockError(rt.describe_stall())
@@ -300,4 +362,91 @@ class Session:
             out.result = result
         out.offcore_bytes = machine.total_offcore_bytes()
         out.engine_events = engine.events_processed
+
+        if builder is not None:
+            builder.detach()
+            experiments: list[WhatIfResult] = []
+            if profile_cfg is not None and profile_cfg.what_if:
+                experiments = self._run_what_ifs(
+                    profile_cfg,
+                    builder,
+                    baseline=out,
+                    benchmark=workload,
+                    params=params,
+                    cores=ncores,
+                    counters=counters,
+                    collect_counters=collect_counters,
+                    query_interval_ns=query_interval_ns,
+                    telemetry=tele,
+                )
+            out.profile = builder.finalize(
+                workload=workload.canonical(),
+                runtime=self.runtime,
+                cores=ncores,
+                makespan_ns=out.exec_time_ns,
+                what_if=tuple(experiments),
+            )
         return out
+
+    def _run_what_ifs(
+        self,
+        profile_cfg: ProfileConfig,
+        builder: ProfileBuilder,
+        *,
+        baseline: RunResult,
+        benchmark: WorkloadSpec,
+        params: Mapping[str, Any] | None,
+        cores: int,
+        counters: Sequence[str] | None,
+        collect_counters: bool,
+        query_interval_ns: int | None,
+        telemetry: TelemetryConfig | None,
+    ) -> list[WhatIfResult]:
+        """Validate each what-if experiment with a cost-rewritten replay.
+
+        The replay runs under *identical* instrumentation (profiler
+        attached, same counters, same query interval) so the 0 %
+        experiment is bit-identical to the baseline; only external
+        telemetry sinks are stripped, to avoid emitting the replay's
+        samples into the baseline's outputs.
+        """
+        replay_tele = replace(telemetry, sinks=()) if telemetry is not None else None
+        base = builder.analysis()
+        bodies = set(builder.body_names())
+        results: list[WhatIfResult] = []
+        for spec in profile_cfg.what_if:
+            body = resolve_body(spec.body, bodies)
+            scaled = builder.scaled_analysis(body, spec.factor)
+            rewriter = BodyRewriter(body, spec.factor)
+            replay = self.run(
+                benchmark,
+                params=params,
+                cores=cores,
+                mode=ExecutionMode.EXACT,
+                counters=counters,
+                collect_counters=collect_counters,
+                query_interval_ns=query_interval_ns,
+                telemetry=replay_tele,
+                profile=ProfileConfig(),  # same perturbation, no nested what-ifs
+                work_rewriter=rewriter,
+            )
+            results.append(
+                WhatIfResult(
+                    body=body,
+                    speedup_pct=spec.speedup_pct,
+                    baseline_makespan_ns=baseline.exec_time_ns,
+                    predicted_makespan_ns=predict_makespan_ns(
+                        baseline_makespan_ns=baseline.exec_time_ns,
+                        cores=cores,
+                        base_work_ns=base.work_ns,
+                        base_span_ns=base.span_ns,
+                        scaled_work_ns=scaled.work_ns,
+                        scaled_span_ns=scaled.span_ns,
+                    ),
+                    replayed_makespan_ns=replay.exec_time_ns,
+                    rewritten_computes=rewriter.rewritten,
+                    scaled_work_ns=scaled.work_ns,
+                    scaled_span_ns=scaled.span_ns,
+                )
+            )
+        return results

@@ -39,7 +39,10 @@ from repro.telemetry.frame import TelemetryFrame
 #: (``telemetry`` rows) instead of the final ``counters`` dict; schema-1
 #: files still load (their counter dicts are adapted into one-shot
 #: frames).
-ARTIFACT_SCHEMA = 2
+#: Schema 3: profiled cells persist a ``profile`` summary dict (the
+#: :meth:`~repro.profiler.report.RunProfile.to_json_dict` form) and the
+#: spec gained its ``profile`` flag; schema-1/2 files still load.
+ARTIFACT_SCHEMA = 3
 
 #: RunResult fields persisted per cell (result/query_samples are not
 #: serializable and are deliberately dropped).  ``telemetry`` is stored
@@ -57,6 +60,7 @@ RESULT_FIELDS = (
     "peak_live_tasks",
     "offcore_bytes",
     "engine_events",
+    "profile",
 )
 
 
@@ -71,6 +75,13 @@ def run_result_to_dict(result: RunResult) -> dict[str, Any]:
                     result.counters, timestamp_ns=result.exec_time_ns
                 )
             data["telemetry"] = frame.to_rows() if frame is not None else []
+        elif name == "profile":
+            # A live RunProfile serializes to its summary dict; a cell
+            # restored from an artifact already carries the dict form.
+            profile = result.profile
+            if profile is not None and hasattr(profile, "to_json_dict"):
+                profile = profile.to_json_dict()
+            data["profile"] = profile
         else:
             data[name] = getattr(result, name)
     return data
@@ -245,7 +256,7 @@ class CampaignArtifact:
         if data.get("kind") != "repro-campaign":
             raise ValueError("not a campaign artifact (missing kind=repro-campaign)")
         schema = data.get("schema")
-        if schema not in (1, ARTIFACT_SCHEMA):
+        if schema not in (1, 2, ARTIFACT_SCHEMA):
             raise ValueError(
                 f"unsupported artifact schema {schema!r}; this build reads 1..{ARTIFACT_SCHEMA}"
             )

@@ -57,6 +57,7 @@ def execute_cell(spec: CampaignSpec, cell: Cell) -> dict[str, Any]:
         params=spec.cell_params(cell),
         counters=spec.counter_specs,
         collect_counters=spec.collect_counters,
+        profile=spec.profile or None,
     )
     return run_result_to_dict(result)
 

@@ -46,7 +46,11 @@ from repro.simcore.machine import MachineSpec
 #: param reaching the key through ``cell_params``); results also
 #: persist the mode per cell, so pre-mode payloads must not satisfy
 #: post-mode lookups.
-CACHE_KEY_VERSION = 7
+#: v8: the causal profiler landed — ``builtin.profiler`` joined the
+#: provider chain (changing ``provider_identity``) and cells may run
+#: profiled (``CampaignSpec.profile`` reaches the key), whose per-event
+#: instrumentation charge perturbs every result.
+CACHE_KEY_VERSION = 8
 
 RUNTIMES = ("hpx", "std")
 
@@ -98,6 +102,11 @@ class CampaignSpec:
     std: StdParams | None = None  # None: the scaled-budget default
     collect_counters: bool = True
     counter_specs: tuple[str, ...] | None = None  # None: the paper's set
+    #: Attach the causal profiler to every cell; the run results then
+    #: carry a profile summary (critical path, work/span, parallelism).
+    #: Profiling charges per-event instrumentation, so profiled cells
+    #: cache separately from unprofiled ones.
+    profile: bool = False
 
     def __post_init__(self) -> None:
         from repro.workloads import WorkloadSpec
@@ -221,6 +230,7 @@ class CampaignSpec:
             "std": asdict(self.std),
             "collect_counters": self.collect_counters,
             "counter_specs": list(self.counter_specs) if self.counter_specs else None,
+            "profile": self.profile,
         }
 
     @classmethod
@@ -244,6 +254,8 @@ class CampaignSpec:
             counter_specs=(
                 tuple(data["counter_specs"]) if data["counter_specs"] is not None else None
             ),
+            # Pre-profiler artifacts (schema <= 2) know nothing of it.
+            profile=data.get("profile", False),
         )
 
     def spec_id(self) -> str:
@@ -288,6 +300,7 @@ def cell_cache_key(spec: CampaignSpec, cell: Cell) -> str:
         "collect_counters": spec.collect_counters,
         "counter_specs": list(spec.counter_specs) if spec.counter_specs else None,
         "counter_providers": list(provider_identity(workload=workload_name)),
+        "profile": spec.profile,
     }
     if cell.runtime == "hpx":
         payload["hpx"] = asdict(spec.hpx)

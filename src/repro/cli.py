@@ -351,6 +351,62 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0 if result.verified else 1
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.profiler import ProfileConfig, parse_what_if
+
+    workload = _resolve_cli_workload(args)
+    try:
+        what_if = tuple(parse_what_if(text) for text in args.what_if)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    keep_events = args.chrome_out is not None
+    session = Session(runtime=args.runtime, cores=args.cores, platform=args.platform)
+    try:
+        result = session.run(
+            workload,
+            collect_counters=args.counters,
+            profile=ProfileConfig(what_if=what_if, keep_events=keep_events),
+        )
+    except (CohortIneligibleError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    profile = result.profile
+    if result.aborted:
+        print(f"{workload.name} [{args.runtime}, {args.cores} cores]: ABORT")
+        print(f"  {result.abort_reason}")
+        if profile is not None:
+            print()
+            print(profile.render(top=args.top))
+        return 1
+    print(profile.render(top=args.top))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(profile.to_json_dict(include_series=True), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.json}")
+    if args.chrome_out:
+        from repro.telemetry.sample import Sample
+        from repro.trace.export import to_chrome_trace
+
+        # The parallelism waterfall rides along as a counter track.
+        series = [
+            Sample(
+                name="/profiler{locality#0/total}/logical-parallelism",
+                instance="locality#0/total",
+                timestamp_ns=p.time_ns,
+                value=p.active,
+                run_id=profile.workload,
+            )
+            for p in profile.parallelism.points
+        ]
+        with open(args.chrome_out, "w") as fh:
+            fh.write(to_chrome_trace(list(profile.events or ()), telemetry=series))
+            fh.write("\n")
+        print(f"wrote {args.chrome_out}")
+    return 0 if result.verified else 1
+
+
 def cmd_workloads_list(_args: argparse.Namespace) -> int:
     from repro.workloads import available_workloads, get_workload
 
@@ -524,6 +580,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             params=params,
             platform=resolve_platform(args.platform),
             collect_counters=not args.no_counters,
+            profile=args.profile,
         )
     except (ValueError, KeyError) as exc:
         print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
@@ -842,6 +899,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(fn=cmd_run)
 
+    p = sub.add_parser(
+        "profile",
+        help="causal profile of one run: critical path, parallelism, what-if speedups",
+    )
+    p.add_argument(
+        "benchmark",
+        nargs="?",
+        default=None,
+        metavar="WORKLOAD",
+        help="workload name or NAME:key=val,... spec (or use --workload)",
+    )
+    p.add_argument("--runtime", choices=("hpx", "std"), default="hpx")
+    p.add_argument("--cores", type=int, default=4)
+    _add_workload_options(p, seed_default=None)
+    p.add_argument("--param", action="append", default=[], metavar="KEY=VALUE")
+    p.add_argument(
+        "--preset",
+        choices=("small", "default", "large", "paper"),
+        default="default",
+        help="input set (Inncabs-style); --param overrides on top",
+    )
+    p.add_argument(
+        "--what-if",
+        action="append",
+        default=[],
+        metavar="body=NAME,speedup=PCT",
+        help="causal experiment: predict and replay the run with NAME's "
+        "work cost cut by PCT%% (repeatable)",
+    )
+    p.add_argument(
+        "--top", type=int, default=10, help="flat-profile rows to show (default 10)"
+    )
+    p.add_argument(
+        "--json", default=None, metavar="FILE", help="write the full profile as JSON"
+    )
+    p.add_argument(
+        "--chrome-out",
+        default=None,
+        metavar="FILE",
+        help="write a chrome://tracing timeline (tasks + parallelism waterfall)",
+    )
+    p.add_argument(
+        "--counters",
+        action="store_true",
+        help="also collect the default counter set during the profiled run",
+    )
+    p.set_defaults(fn=cmd_profile)
+
     p = sub.add_parser("workloads", help="the unified workload registry (Inncabs + Task Bench)")
     workloads_sub = p.add_subparsers(dest="workloads_command", required=True)
     pw = workloads_sub.add_parser("list", help="list every registered workload")
@@ -951,6 +1056,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--no-cache", action="store_true", help="always execute every cell")
     p.add_argument("--no-counters", action="store_true", help="disable instrumentation")
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach the causal profiler to every cell; artifacts then carry "
+        "per-cell profile summaries (critical path, work/span, parallelism)",
+    )
     p.add_argument("--verbose", action="store_true", help="per-cell progress on stderr")
     p.set_defaults(fn=cmd_campaign)
 

@@ -37,6 +37,7 @@ class CounterEnvironment:
     runtime: Any = None  # any repro.exec.backend.SchedulerBackend
     machine: Any = None  # repro.simcore.machine.Machine
     papi: Any = None  # repro.papi.hw.PapiSubstrate
+    profiler: Any = None  # repro.profiler.builder.ProfileBuilder
     registry: Any = None  # back-reference, set by the registry itself
 
     def require(self, attr: str) -> Any:

@@ -202,13 +202,23 @@ def _register_papi(registry: Any) -> None:
     register_papi_counters(registry)
 
 
+def _register_profiler(registry: Any) -> None:
+    from repro.profiler.counters import register_profiler_counters
+
+    register_profiler_counters(registry)
+
+
 #: The built-in provider chain, in legacy registration order (threads →
-#: runtime → taskbench → papi) so registries stay bit-identical.
+#: runtime → taskbench → papi, then the profiler family added later) so
+#: registries stay bit-identical.
 _BUILTINS: tuple[_BuiltinProvider, ...] = (
     _BuiltinProvider("builtin.threads", _register_threads, requires="runtime"),
     _BuiltinProvider("builtin.runtime", _register_runtime, requires="runtime"),
     _BuiltinProvider("builtin.taskbench", _register_taskbench, requires="runtime"),
     _BuiltinProvider("builtin.papi", _register_papi, requires="papi"),
+    # Only present when a ProfileBuilder is attached to the run
+    # (Session.run(profile=...)); gated like papi on its env component.
+    _BuiltinProvider("builtin.profiler", _register_profiler, requires="profiler"),
 )
 
 

@@ -32,6 +32,10 @@ from repro.model.future import ThrowValue
 
 Handler = Callable[[Any, Any, Any], None]
 
+#: ``rewriter(task, work) -> Work`` — return ``work`` itself (the same
+#: object) to leave the effect untouched; any other value replaces it.
+WorkRewriter = Callable[[Any, Any], Any]
+
 
 class EffectInterpreter:
     """Drives one backend's task coroutines, one step at a time.
@@ -43,10 +47,11 @@ class EffectInterpreter:
     schedule their private step function.
     """
 
-    __slots__ = ("backend", "_handlers")
+    __slots__ = ("backend", "_handlers", "compute_rewriter")
 
     def __init__(self, backend: Any) -> None:
         self.backend = backend
+        self.compute_rewriter: WorkRewriter | None = None
         self._handlers: dict[type, Handler] = {
             Compute: backend.do_compute,
             Spawn: backend.do_spawn,
@@ -56,6 +61,31 @@ class EffectInterpreter:
             Unlock: backend.do_unlock,
             YieldNow: backend.do_yield,
         }
+
+    def set_compute_rewriter(self, rewriter: WorkRewriter | None) -> None:
+        """Install (or, with ``None``, remove) a what-if work rewriter.
+
+        The rewriter intercepts every :class:`Compute` effect *before*
+        the backend handles it and may substitute a different
+        :class:`~repro.model.work.Work`.  When it returns the identical
+        object the original effect is dispatched untouched, so a
+        factor-1.0 rewrite (``Work.scaled(1.0)`` returns ``self``) is
+        bit-identical to running without a rewriter.  The swap happens
+        in the dispatch table, so the non-rewriting path costs nothing.
+        """
+        self.compute_rewriter = rewriter
+        if rewriter is None:
+            self._handlers[Compute] = self.backend.do_compute
+            return
+        do_compute = self.backend.do_compute
+
+        def rewritten_compute(worker: Any, task: Any, effect: Any) -> None:
+            new_work = rewriter(task, effect.work)
+            if new_work is not effect.work:
+                effect = Compute(new_work)
+            do_compute(worker, task, effect)
+
+        self._handlers[Compute] = rewritten_compute
 
     def step(self, worker: Any, task: Any, send_value: Any) -> None:
         """Resume *task* with *send_value* and dispatch what it yields."""

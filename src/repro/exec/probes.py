@@ -117,13 +117,14 @@ class ProbeBus:
     bus is how everything else finds them.
     """
 
-    __slots__ = ("total", "workers", "trace", "instrument_ns")
+    __slots__ = ("total", "workers", "trace", "instrument_ns", "_trace_hooks")
 
     def __init__(self, total: SchedulerProbe, workers: Iterable[WorkerProbe]) -> None:
         self.total = total
         self.workers: list[WorkerProbe] = list(workers)
         self.trace: TraceHook | None = None
         self.instrument_ns = 0
+        self._trace_hooks: tuple[TraceHook, ...] = ()
 
     # -- instrumentation charge ------------------------------------------
 
@@ -131,6 +132,53 @@ class ProbeBus:
         """Register (positive) or remove (negative) per-activation
         instrumentation cost; called by counter ``start``/``stop``."""
         self.instrument_ns = max(0, self.instrument_ns + delta_ns)
+
+    # -- trace subscription ------------------------------------------------
+
+    def subscribe_trace(self, hook: TraceHook) -> None:
+        """Attach *hook* alongside any other subscribed trace hooks.
+
+        Unlike a direct ``bus.trace = hook`` assignment (which replaces
+        whatever was attached), subscribing composes: every subscribed
+        hook sees every event, in subscription order.  The composed
+        dispatch is folded back into the single ``trace`` slot so the
+        scheduler hot path stays one attribute load — zero subscribers
+        is ``None``, one subscriber is the bare hook, several become one
+        fan-out closure.  A later direct assignment overrides the
+        composition until the next (un)subscribe; don't mix the styles
+        on one bus.
+        """
+        if hook in self._trace_hooks:
+            raise ValueError("trace hook is already subscribed")
+        self._trace_hooks = self._trace_hooks + (hook,)
+        self._compose_trace()
+
+    def unsubscribe_trace(self, hook: TraceHook) -> None:
+        """Detach a hook previously attached with :meth:`subscribe_trace`."""
+        if hook not in self._trace_hooks:
+            raise ValueError("trace hook is not subscribed")
+        self._trace_hooks = tuple(h for h in self._trace_hooks if h != hook)
+        self._compose_trace()
+
+    def _compose_trace(self) -> None:
+        hooks = self._trace_hooks
+        if not hooks:
+            self.trace = None
+        elif len(hooks) == 1:
+            self.trace = hooks[0]
+        else:
+
+            def fan_out(
+                time_ns: int,
+                kind: str,
+                task: Any,
+                aux: int | None,
+                _hooks: tuple[TraceHook, ...] = hooks,
+            ) -> None:
+                for hook in _hooks:
+                    hook(time_ns, kind, task, aux)
+
+            self.trace = fan_out
 
     # -- trace emission ----------------------------------------------------
 

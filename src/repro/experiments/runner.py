@@ -39,6 +39,10 @@ class RunResult:
     peak_live_tasks: int = 0
     offcore_bytes: int = 0
     engine_events: int = 0
+    # The causal profile (repro.profiler.report.RunProfile) when the
+    # run was profiled; a plain summary dict when loaded back from a
+    # campaign artifact.
+    profile: Any = None
 
     @property
     def exec_time_us(self) -> float:

@@ -156,6 +156,11 @@ class StdRuntime:
     def trace(self, hook: Callable[[int, str, OSThread, int | None], None] | None) -> None:
         self.probes.trace = hook
 
+    def set_compute_rewriter(self, rewriter: Callable[[OSThread, Any], Any] | None) -> None:
+        """Install (or remove) a what-if work rewriter on the effect loop
+        (see :meth:`repro.exec.interp.EffectInterpreter.set_compute_rewriter`)."""
+        self._interp.set_compute_rewriter(rewriter)
+
     def create_mutex(self) -> KMutex:
         m = KMutex(self._next_mid)
         self._next_mid += 1

@@ -193,6 +193,11 @@ class HpxRuntime:
     def trace(self, hook: Callable[[int, str, Task, int | None], None] | None) -> None:
         self.probes.trace = hook
 
+    def set_compute_rewriter(self, rewriter: Callable[[Task, Any], Any] | None) -> None:
+        """Install (or remove) a what-if work rewriter on the effect loop
+        (see :meth:`repro.exec.interp.EffectInterpreter.set_compute_rewriter`)."""
+        self._interp.set_compute_rewriter(rewriter)
+
     def create_mutex(self) -> Mutex:
         mutex = Mutex(self._next_mid)
         self._next_mid += 1

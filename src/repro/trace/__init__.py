@@ -10,10 +10,17 @@ approaches can be compared on equal footing (see
 ``tests/trace/test_trace.py``: the trace sees the same totals the
 counters report, but only after the run and at a much higher event
 cost).
+
+Most of this package now lives in :mod:`repro.profiler` — the trace
+layer grew into the causal profiling subsystem — and these modules are
+compatibility shims re-exporting the moved names.  Only the networkx
+work/span oracle (:mod:`repro.trace.dag`, cross-checked against the
+stdlib implementation in :mod:`repro.profiler.analysis`) and the
+Chrome-trace exporter remain here in full.
 """
 
-from repro.trace.recorder import TaskEvent, TraceRecorder
-from repro.trace.profile import FunctionProfile, build_profile
+from repro.profiler.events import TaskEvent, TraceRecorder
+from repro.profiler.report import FunctionProfile, build_profile
 from repro.trace.dag import WorkSpan, build_task_dag, work_span
 from repro.trace.export import to_chrome_trace
 

@@ -14,6 +14,11 @@ Task-level granularity is used (each node weighted by the task's total
 busy time), which slightly over-approximates the span of tasks that
 interleave spawning with computing — exact for fork/join trees whose
 tasks compute before spawning or after joining.
+
+This module is the *networkx oracle* for the profiler: the streaming
+:mod:`repro.profiler.analysis` implementation (stdlib-only, usable at
+runtime — networkx is a test-only dependency) must produce identical
+work/span numbers, and ``tests/profiler`` cross-checks the two.
 """
 
 from __future__ import annotations
@@ -22,7 +27,7 @@ from dataclasses import dataclass
 
 import networkx as nx
 
-from repro.trace.recorder import TaskEvent, TraceRecorder
+from repro.profiler.events import TaskEvent, TraceRecorder, event_sort_key
 
 
 @dataclass(frozen=True)
@@ -43,7 +48,7 @@ def _task_busy_ns(events: list[TaskEvent]) -> dict[int, int]:
     """Per-task busy time from activate->(suspend|terminate) intervals."""
     busy: dict[int, int] = {}
     active_since: dict[int, int] = {}
-    for event in sorted(events, key=lambda e: (e.time_ns, e.tid)):
+    for event in sorted(events, key=event_sort_key):
         if event.kind == "activate":
             active_since[event.tid] = event.time_ns
         elif event.kind in ("suspend", "terminate"):
@@ -94,7 +99,7 @@ def work_span(trace: TraceRecorder | list[TaskEvent]) -> WorkSpan:
     work = sum(data["busy_ns"] for _n, data in graph.nodes(data=True))
     span = 0
     if graph.number_of_nodes():
-        lengths: dict = {}
+        lengths: dict[tuple[int, str], int] = {}
         for node in nx.topological_sort(graph):
             own = graph.nodes[node]["busy_ns"]
             best_pred = max((lengths[p] for p in graph.predecessors(node)), default=0)

@@ -12,13 +12,13 @@ from __future__ import annotations
 import json
 from typing import Any, Iterable
 
-from repro.trace.recorder import TaskEvent, TraceRecorder
+from repro.profiler.events import TaskEvent, TraceRecorder, event_sort_key
 
 
 def _task_events(events: Iterable[TaskEvent]) -> list[dict[str, Any]]:
     out: list[dict[str, Any]] = []
     active: dict[int, TaskEvent] = {}
-    for event in sorted(events, key=lambda e: (e.time_ns, e.tid)):
+    for event in sorted(events, key=event_sort_key):
         if event.kind == "activate":
             active[event.tid] = event
         elif event.kind in ("suspend", "terminate"):

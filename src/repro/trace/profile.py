@@ -1,68 +1,14 @@
-"""gprof-style aggregation over a task trace.
+"""gprof-style flat-profile aggregation — compatibility shim.
 
-Reconstructs per-task busy intervals (activate -> suspend/terminate)
-and aggregates them by task body, producing the flat profile a
-post-mortem tool would print after the run.
+The aggregation moved to :mod:`repro.profiler.report` (the streaming
+:class:`~repro.profiler.builder.ProfileBuilder` and this post-mortem
+path now share one busy-interval accumulator, and events are replayed
+in the stable ``(time_ns, tid, kind-rank)`` total order).  This module
+re-exports the public names so existing imports keep working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from repro.profiler.report import FunctionProfile, build_profile, render_profile
 
-from repro.trace.recorder import TaskEvent, TraceRecorder
-
-
-@dataclass
-class FunctionProfile:
-    """Aggregate for one task body (the post-mortem 'function' row)."""
-
-    name: str
-    tasks: int = 0
-    activations: int = 0
-    busy_ns: int = 0
-
-    @property
-    def mean_task_ns(self) -> float:
-        return self.busy_ns / self.tasks if self.tasks else 0.0
-
-
-def build_profile(trace: TraceRecorder | list[TaskEvent]) -> dict[str, FunctionProfile]:
-    """Flat profile: {task body name: aggregate}.
-
-    Busy time is the sum of activate->(suspend|terminate) intervals —
-    the same quantity the ``/threads/time/*`` counters measure live,
-    but reconstructed after the fact from the event stream.
-    """
-    events = trace.events if isinstance(trace, TraceRecorder) else trace
-    profiles: dict[str, FunctionProfile] = {}
-    active_since: dict[int, int] = {}
-    seen_tasks: dict[str, set[int]] = {}
-
-    for event in sorted(events, key=lambda e: (e.time_ns, e.tid)):
-        profile = profiles.setdefault(event.description, FunctionProfile(event.description))
-        seen = seen_tasks.setdefault(event.description, set())
-        if event.kind == "activate":
-            active_since[event.tid] = event.time_ns
-            profile.activations += 1
-            if event.tid not in seen:
-                seen.add(event.tid)
-                profile.tasks += 1
-        elif event.kind in ("suspend", "terminate"):
-            start = active_since.pop(event.tid, None)
-            if start is not None:
-                profile.busy_ns += event.time_ns - start
-    return profiles
-
-
-def render_profile(profiles: dict[str, FunctionProfile]) -> str:
-    """Flat-profile text, busiest first."""
-    rows = sorted(profiles.values(), key=lambda p: -p.busy_ns)
-    lines = [
-        f"{'task body':30s} {'tasks':>8s} {'activations':>12s} {'busy ms':>10s} {'mean us':>9s}"
-    ]
-    for p in rows:
-        lines.append(
-            f"{p.name:30s} {p.tasks:8d} {p.activations:12d} "
-            f"{p.busy_ns / 1e6:10.3f} {p.mean_task_ns / 1e3:9.2f}"
-        )
-    return "\n".join(lines)
+__all__ = ["FunctionProfile", "build_profile", "render_profile"]

@@ -1,100 +1,25 @@
-"""Task-event recording.
+"""Task-event recording — compatibility shim.
 
-Attaches to the HPX runtime's trace hook and stores one event per task
-life-cycle transition.  Like the real post-mortem tools, recording has
-a cost: each event charges a small instrumentation overhead to the
-runtime (tracing perturbs; the in-situ counters are the cheap path).
+The event model and recorder moved to :mod:`repro.profiler.events`
+when the trace layer grew into the causal profiler; this module
+re-exports them so existing imports keep working.  New code should
+import from :mod:`repro.profiler` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any
+from repro.profiler.events import (
+    EVENT_KINDS,
+    TRACE_EVENT_NS,
+    TaskEvent,
+    TraceRecorder,
+    event_sort_key,
+)
 
-#: Per-event recording cost charged to the runtime while tracing
-#: (buffer write + timestamp; post-mortem tools pay at least this).
-TRACE_EVENT_NS = 35
-
-EVENT_KINDS = ("create", "activate", "suspend", "resume", "terminate", "depend")
-
-
-@dataclass(frozen=True)
-class TaskEvent:
-    """One recorded life-cycle transition.
-
-    ``related`` carries structural context: the parent tid on
-    ``create`` events, the producer tid on ``depend`` (join) events,
-    None otherwise.
-    """
-
-    time_ns: int
-    kind: str  # one of EVENT_KINDS
-    tid: int
-    description: str  # task body name
-    worker: int | None  # executing worker, None for create/depend events
-    related: int | None = None
-
-
-class TraceRecorder:
-    """Collects the full event stream of one run."""
-
-    def __init__(self, runtime: Any) -> None:
-        self.runtime = runtime
-        self.events: list[TaskEvent] = []
-        self._attached = False
-
-    # -- life cycle ----------------------------------------------------
-
-    def attach(self) -> None:
-        """Start recording (replaces any existing trace hook)."""
-        if self._attached:
-            return
-        self._attached = True
-        self.runtime.trace = self._record
-        self.runtime.add_instrumentation(TRACE_EVENT_NS)
-
-    def detach(self) -> None:
-        if not self._attached:
-            return
-        self._attached = False
-        self.runtime.trace = None
-        self.runtime.add_instrumentation(-TRACE_EVENT_NS)
-
-    def __enter__(self) -> "TraceRecorder":
-        self.attach()
-        return self
-
-    def __exit__(self, *exc: Any) -> None:
-        self.detach()
-
-    # -- recording -------------------------------------------------------
-
-    def _record(self, time_ns: int, kind: str, task: Any, worker: int | None) -> None:
-        if kind == "depend":
-            # The 4th hook argument is the producer tid for join edges.
-            related: int | None = worker
-            worker = None
-        elif kind == "create":
-            related = task.parent_tid
-        else:
-            related = None
-        self.events.append(
-            TaskEvent(
-                time_ns=time_ns,
-                kind=kind,
-                tid=task.tid,
-                description=task.description,
-                worker=worker,
-                related=related,
-            )
-        )
-
-    # -- queries ------------------------------------------------------------
-
-    def events_of_kind(self, kind: str) -> list[TaskEvent]:
-        if kind not in EVENT_KINDS:
-            raise ValueError(f"unknown event kind {kind!r}; expected one of {EVENT_KINDS}")
-        return [e for e in self.events if e.kind == kind]
-
-    def task_count(self) -> int:
-        return len({e.tid for e in self.events})
+__all__ = [
+    "EVENT_KINDS",
+    "TRACE_EVENT_NS",
+    "TaskEvent",
+    "TraceRecorder",
+    "event_sort_key",
+]

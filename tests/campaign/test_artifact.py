@@ -64,9 +64,9 @@ def test_curve_lookup_error_lists_contents(small_run):
 
 
 def test_cells_persist_telemetry_rows(small_run):
-    """Schema 2: cells carry the full sample stream, not a totals dict."""
+    """Since schema 2, cells carry the full sample stream, not a totals dict."""
     data = small_run.artifact.to_json_dict()
-    assert data["schema"] == 2
+    assert data["schema"] == ARTIFACT_SCHEMA
     cell = next(c for c in data["cells"] if not c["result"]["aborted"])
     assert "counters" not in cell["result"]
     rows = cell["result"]["telemetry"]

@@ -85,6 +85,45 @@ def test_fib_counter_totals_within_bounds():
         assert _close(cohort.counters[name], exact.counters[name]), name
 
 
+# -- nqueens: the unbalanced recursive tree ---------------------------------
+
+
+@pytest.mark.parametrize("runtime", ["hpx", "std"])
+@pytest.mark.parametrize("n,cutoff", [(8, 3), (10, 4)])
+def test_nqueens_counts_match_exactly(runtime, n, cutoff):
+    spec = f"nqueens:n={n},cutoff={cutoff}"
+    exact = _run(spec, runtime, 4, "exact", collect_counters=False)
+    cohort = _run(spec, runtime, 4, "cohort", collect_counters=False)
+    assert cohort.verified and exact.verified
+    assert cohort.tasks_created == exact.tasks_created
+    assert cohort.tasks_executed == exact.tasks_executed
+    assert _close(cohort.exec_time_ns, exact.exec_time_ns)
+    assert cohort.engine_events < exact.engine_events / 10
+
+
+def test_nqueens_counter_totals_within_bounds():
+    exact = _run("nqueens:n=10,cutoff=4", "hpx", 4, "exact")
+    cohort = _run("nqueens:n=10,cutoff=4", "hpx", 4, "cohort")
+    assert (
+        cohort.counters["/threads{locality#0/total}/count/cumulative"]
+        == exact.counters["/threads{locality#0/total}/count/cumulative"]
+    )
+    for name in (
+        "/threads{locality#0/total}/time/average",
+        "/threads{locality#0/total}/time/cumulative-overhead",
+    ):
+        assert _close(cohort.counters[name], exact.counters[name]), name
+
+
+def test_nqueens_without_known_solution_is_ineligible():
+    from repro.exec.modes import CohortIneligibleError
+
+    # n=13 is outside the known-solutions table, so the plan's result
+    # could not be exact; the workload must refuse a cohort run.
+    with pytest.raises(CohortIneligibleError):
+        _run("nqueens:n=13,cutoff=3", "hpx", 4, "cohort", collect_counters=False)
+
+
 # -- abort parity: the std thread explosion ---------------------------------
 
 

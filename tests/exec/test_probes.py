@@ -1,0 +1,72 @@
+"""ProbeBus trace-hook subscription and fan-out composition."""
+
+import pytest
+
+from repro.exec.probes import ProbeBus, SchedulerProbe, WorkerProbe
+
+
+def _bus():
+    return ProbeBus(SchedulerProbe(), [WorkerProbe(), WorkerProbe()])
+
+
+class _Task:
+    def __init__(self, tid):
+        self.tid = tid
+        self.description = "body"
+
+
+def test_single_subscriber_is_installed_directly():
+    bus = _bus()
+    seen = []
+    hook = lambda t, k, task, aux: seen.append((t, k, task.tid, aux))  # noqa: E731
+    bus.subscribe_trace(hook)
+    assert bus.trace is hook  # no fan-out wrapper on the hot path
+    bus.trace(10, "create", _Task(1), None)
+    assert seen == [(10, "create", 1, None)]
+
+
+def test_fan_out_delivers_to_every_subscriber_in_order():
+    bus = _bus()
+    order = []
+    a = lambda t, k, task, aux: order.append(("a", t))  # noqa: E731
+    b = lambda t, k, task, aux: order.append(("b", t))  # noqa: E731
+    bus.subscribe_trace(a)
+    bus.subscribe_trace(b)
+    assert bus.trace is not None
+    bus.trace(5, "activate", _Task(2), 0)
+    assert order == [("a", 5), ("b", 5)]
+
+
+def test_unsubscribe_restores_previous_shape():
+    bus = _bus()
+    seen_a, seen_b = [], []
+    a = lambda *args: seen_a.append(args)  # noqa: E731
+    b = lambda *args: seen_b.append(args)  # noqa: E731
+    bus.subscribe_trace(a)
+    bus.subscribe_trace(b)
+    bus.unsubscribe_trace(a)
+    assert bus.trace is b  # back to the direct single-hook form
+    bus.unsubscribe_trace(b)
+    assert bus.trace is None  # inactive path: one attribute load
+
+
+def test_double_subscribe_is_an_error():
+    bus = _bus()
+    hook = lambda *args: None  # noqa: E731
+    bus.subscribe_trace(hook)
+    with pytest.raises(ValueError, match="already subscribed"):
+        bus.subscribe_trace(hook)
+
+
+def test_unsubscribe_of_unknown_hook_is_an_error():
+    bus = _bus()
+    with pytest.raises(ValueError, match="not subscribed"):
+        bus.unsubscribe_trace(lambda *args: None)
+
+
+def test_legacy_direct_assignment_still_works():
+    bus = _bus()
+    seen = []
+    bus.trace = lambda t, k, task, aux: seen.append(t)
+    bus.trace(1, "create", _Task(1), None)
+    assert seen == [1]

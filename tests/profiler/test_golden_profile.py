@@ -1,0 +1,33 @@
+"""The committed golden profile: fib(16) with a 50 % what-if, bit for bit.
+
+The CI ``profiler-smoke`` job runs the same configuration through the
+``repro profile`` CLI and diffs the JSON against the same fixture, so a
+behavior change shows up identically in-process and end-to-end.
+Regenerate (only for an intentional change) with:
+
+    repro profile fib:n=16 --what-if body=fib,speedup=50 \
+        --json tests/fixtures/profile_fib16_whatif.json
+"""
+
+import json
+import pathlib
+
+from repro.api import Session
+from repro.profiler import ProfileConfig
+from repro.profiler.whatif import WhatIfSpec
+from repro.workloads import WorkloadSpec
+
+FIXTURE = pathlib.Path(__file__).parent.parent / "fixtures" / "profile_fib16_whatif.json"
+
+
+def test_profile_matches_golden_fixture():
+    session = Session(runtime="hpx", cores=4)
+    result = session.run(
+        WorkloadSpec.parse("fib:n=16"),
+        collect_counters=False,
+        profile=ProfileConfig(what_if=(WhatIfSpec(body="fib", speedup_pct=50),)),
+    )
+    golden = json.loads(FIXTURE.read_text())
+    got = result.profile.to_json_dict(include_series=True)
+    # Round-trip through JSON so int/float spellings compare like the file.
+    assert json.loads(json.dumps(got)) == golden

@@ -1,0 +1,103 @@
+"""What-if spec parsing, body resolution, and the prediction arithmetic."""
+
+import pytest
+
+from repro.profiler.whatif import (
+    BodyRewriter,
+    WhatIfSpec,
+    parse_what_if,
+    predict_makespan_ns,
+    resolve_body,
+)
+
+
+def test_parse_what_if_round_trip():
+    spec = parse_what_if("body=_fib_task,speedup=50")
+    assert spec == WhatIfSpec(body="_fib_task", speedup_pct=50.0)
+    assert spec.factor == pytest.approx(0.5)
+
+
+def test_parse_what_if_field_order_is_free():
+    assert parse_what_if("speedup=25,body=x") == WhatIfSpec(body="x", speedup_pct=25.0)
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "",
+        "body=x",  # missing speedup
+        "speedup=50",  # missing body
+        "body=x,speedup=50,extra=1",  # unknown field
+        "body=x,speedup=oops",  # non-numeric
+        "body=x speedup=50",  # not key=value
+    ],
+)
+def test_parse_what_if_rejects_malformed(text):
+    with pytest.raises(ValueError):
+        parse_what_if(text)
+
+
+@pytest.mark.parametrize("pct", [-1, 101])
+def test_spec_rejects_out_of_range_speedup(pct):
+    with pytest.raises(ValueError):
+        WhatIfSpec(body="x", speedup_pct=pct)
+
+
+def test_resolve_body_exact_beats_substring():
+    assert resolve_body("fib", {"fib", "_fib_task"}) == "fib"
+
+
+def test_resolve_body_unique_substring():
+    assert resolve_body("node", {"_node_task", "_taskbench_root"}) == "_node_task"
+
+
+def test_resolve_body_ambiguous_lists_candidates():
+    with pytest.raises(ValueError, match="_a_task.*_b_task"):
+        resolve_body("task", {"_a_task", "_b_task"})
+
+
+def test_resolve_body_unknown_lists_bodies():
+    with pytest.raises(ValueError, match="profiled bodies"):
+        resolve_body("nope", {"_fib_task"})
+
+
+def test_rewriter_only_touches_its_body():
+    class _Task:
+        def __init__(self, description):
+            self.description = description
+
+    class _Work:
+        def scaled(self, factor):
+            return ("scaled", factor)
+
+    rewriter = BodyRewriter("hot", 0.5)
+    work = _Work()
+    assert rewriter(_Task("cold"), work) is work
+    assert rewriter(_Task("hot"), work) == ("scaled", 0.5)
+    assert rewriter.rewritten == 1
+
+
+def test_predict_makespan_scales_by_brent_ratio():
+    # Halving all the work on 4 cores with negligible span halves the
+    # Brent bound, so the predicted makespan halves too.
+    predicted = predict_makespan_ns(
+        baseline_makespan_ns=1_000_000,
+        cores=4,
+        base_work_ns=4_000_000,
+        base_span_ns=0,
+        scaled_work_ns=2_000_000,
+        scaled_span_ns=0,
+    )
+    assert predicted == 500_000
+
+
+def test_predict_makespan_identity_when_unscaled():
+    predicted = predict_makespan_ns(
+        baseline_makespan_ns=123_457,
+        cores=4,
+        base_work_ns=400_000,
+        base_span_ns=50_000,
+        scaled_work_ns=400_000,
+        scaled_span_ns=50_000,
+    )
+    assert predicted == 123_457
